@@ -1,0 +1,247 @@
+package dynlocal
+
+import (
+	"dynlocal/internal/adversary"
+	"dynlocal/internal/algos/coloring"
+	"dynlocal/internal/algos/mis"
+	"dynlocal/internal/baseline"
+	"dynlocal/internal/core"
+	"dynlocal/internal/dyngraph"
+	"dynlocal/internal/engine"
+	"dynlocal/internal/graph"
+	"dynlocal/internal/prf"
+	"dynlocal/internal/problems"
+	"dynlocal/internal/verify"
+)
+
+// Core model types.
+type (
+	// Graph is an immutable simple undirected graph.
+	Graph = graph.Graph
+	// GraphBuilder accumulates edges into a Graph.
+	GraphBuilder = graph.Builder
+	// NodeID identifies a node in the potential-node universe.
+	NodeID = graph.NodeID
+	// EdgeKey is the canonical key of an undirected edge.
+	EdgeKey = graph.EdgeKey
+	// Point is a 2-D coordinate used by geometric workloads.
+	Point = graph.Point
+	// Value is a node output; Bot is ⊥.
+	Value = problems.Value
+	// Violation reports a node whose LCL condition fails.
+	Violation = problems.Violation
+	// Problem bundles the packing and covering halves of a problem.
+	Problem = problems.PC
+)
+
+// Output values.
+const (
+	// Bot is ⊥: no output yet.
+	Bot = problems.Bot
+	// InMIS marks independent-set membership.
+	InMIS = problems.InMIS
+	// Dominated marks nodes dominated by an InMIS neighbor.
+	Dominated = problems.Dominated
+)
+
+// Engine types.
+type (
+	// Engine drives one round-synchronous simulation.
+	Engine = engine.Engine
+	// EngineConfig parameterizes a simulation.
+	EngineConfig = engine.Config
+	// RoundInfo is the observer view of a completed round.
+	RoundInfo = engine.RoundInfo
+	// Algorithm creates per-node processes for the engine.
+	Algorithm = engine.Algorithm
+	// Combined is a framework combination (Theorem 1.1) of a dynamic and
+	// a network-static algorithm.
+	Combined = core.Concat
+	// Chained is the triple combination of the Section 3 remark: a
+	// network-static base, a limited-dynamics mid pipeline with a
+	// stronger (fresher) guarantee, and the unconditional outer pipeline.
+	Chained = core.Chain
+)
+
+// Adversary types.
+type (
+	// Adversary produces the per-round communication graphs.
+	Adversary = adversary.Adversary
+	// AdversaryView is the model-granted information an adversary sees.
+	AdversaryView = adversary.View
+	// AdversaryStep is one adversary move (graph + wake set).
+	AdversaryStep = adversary.Step
+	// StaticAdversary plays one fixed graph.
+	StaticAdversary = adversary.Static
+	// ChurnAdversary inserts and deletes random edges every round.
+	ChurnAdversary = adversary.Churn
+	// EdgeMarkovAdversary flips footprint edges on and off.
+	EdgeMarkovAdversary = adversary.EdgeMarkov
+	// LocalStaticAdversary freezes α-balls while churning elsewhere.
+	LocalStaticAdversary = adversary.LocalStatic
+	// ConflictInjector inserts edges between equal-output nodes.
+	ConflictInjector = adversary.ConflictInjector
+	// WakeupAdversary staggers node wake-ups over an inner adversary.
+	WakeupAdversary = adversary.Wakeup
+	// ClairvoyantAdversary is the adaptive-offline adversary of the
+	// remark after Lemma 5.2.
+	ClairvoyantAdversary = adversary.LubyStaller
+)
+
+// Window and checker types.
+type (
+	// SlidingWindow maintains G^∩T and G^∪T incrementally.
+	SlidingWindow = dyngraph.Window
+	// FracWindow is the δ-fraction window of Section 7.2.
+	FracWindow = dyngraph.FracWindow
+	// Trace records dynamic graph sequences for replay.
+	Trace = dyngraph.Trace
+	// TDynamicChecker verifies T-dynamic solutions every round.
+	TDynamicChecker = verify.TDynamic
+	// TDynamicReport is one round's verification result.
+	TDynamicReport = verify.TDynamicReport
+	// PartialChecker verifies property B.1 every round.
+	PartialChecker = verify.Partial
+	// StabilityChecker verifies locally-static guarantees.
+	StabilityChecker = verify.Stability
+)
+
+// MISProblem returns the MIS problem decomposition (M_P, M_C).
+func MISProblem() Problem { return problems.MIS() }
+
+// ColoringProblem returns the (degree+1)-coloring decomposition (C_P, C_C).
+func ColoringProblem() Problem { return problems.Coloring() }
+
+// NewEngine creates a simulation engine.
+func NewEngine(cfg EngineConfig, adv Adversary, algo Algorithm) *Engine {
+	return engine.New(cfg, adv, algo)
+}
+
+// NewMIS returns the combined dynamic MIS algorithm of Corollary 1.3 for
+// a universe of n nodes. Requires a 2-oblivious adversary (the engine
+// default).
+func NewMIS(n int) *Combined { return mis.NewMIS(n) }
+
+// NewColoring returns the combined dynamic (degree+1)-coloring algorithm
+// of Corollary 1.2 for a universe of n nodes. Valid against adaptive
+// offline adversaries.
+func NewColoring(n int) *Combined { return coloring.NewColoring(n) }
+
+// NewChainedMIS returns the triple combination of the Section 3 remark
+// for MIS: the mid pipeline runs DMis with the given smaller window,
+// giving a fresher guarantee whenever the dynamics permit, observable
+// through the Chained.MidProbe hook; the outer pipeline guarantees a
+// T-dynamic solution unconditionally.
+func NewChainedMIS(n, midWindow int) *Chained { return mis.NewChainedMIS(n, midWindow) }
+
+// NewDMis returns the standalone T-dynamic MIS algorithm (Algorithm 4).
+func NewDMis(n int) Algorithm { return mis.NewDynamic(n) }
+
+// NewSMis returns the standalone network-static MIS algorithm
+// (Algorithm 5).
+func NewSMis(n int) Algorithm { return mis.NewNetworkStatic(n) }
+
+// NewLuby returns the pipelined Luby algorithm for static graphs.
+func NewLuby(n int) Algorithm { return mis.NewLuby(n) }
+
+// NewDColor returns the standalone T-dynamic coloring algorithm
+// (Algorithm 2).
+func NewDColor(n int) Algorithm { return coloring.NewDynamic(n) }
+
+// NewSColor returns the standalone network-static coloring algorithm
+// (Algorithm 3).
+func NewSColor(n int) Algorithm { return coloring.NewNetworkStatic(n) }
+
+// NewBasicColoring returns the pipelined basic randomized coloring for
+// static graphs (Algorithm 6).
+func NewBasicColoring(n int) Algorithm { return coloring.NewBasic(n) }
+
+// NewGreedyRepairMIS returns the recovery-period baseline for MIS.
+func NewGreedyRepairMIS(n int) Algorithm { return baseline.GreedyRepairMIS{N: n} }
+
+// NewGreedyRepairColoring returns the recovery-period baseline for
+// coloring.
+func NewGreedyRepairColoring(n int) Algorithm { return baseline.GreedyRepairColoring{N: n} }
+
+// NewRestartMIS returns the pipelined-restart strawman of Section 1.1
+// for MIS (T-dynamic but unstable).
+func NewRestartMIS(n int) *Combined {
+	return baseline.NewRestartMIS(n, &mis.DMisFactory{N: n})
+}
+
+// Workload generators. Each takes a seed so that workload randomness is
+// independent of algorithm randomness.
+
+// GNP returns an Erdős–Rényi G(n, p) graph.
+func GNP(n int, p float64, seed uint64) *Graph {
+	return graph.GNP(n, p, prf.NewStream(seed, 0, 0, prf.PurposeWorkload))
+}
+
+// RandomGeometric returns a unit-disk graph on n uniform points.
+func RandomGeometric(n int, radius float64, seed uint64) *Graph {
+	pts := graph.RandomPoints(n, prf.NewStream(seed, 0, 0, prf.PurposeWorkload))
+	return graph.Geometric(pts, radius)
+}
+
+// Geometric returns the unit-disk graph of the given points.
+func Geometric(pts []Point, radius float64) *Graph { return graph.Geometric(pts, radius) }
+
+// RandomPoints draws n uniform points in the unit square.
+func RandomPoints(n int, seed uint64) []Point {
+	return graph.RandomPoints(n, prf.NewStream(seed, 0, 0, prf.PurposeWorkload))
+}
+
+// Cycle returns the n-cycle.
+func Cycle(n int) *Graph { return graph.Cycle(n) }
+
+// Grid returns the rows×cols grid graph.
+func Grid(rows, cols int) *Graph { return graph.Grid(rows, cols) }
+
+// Complete returns K_n.
+func Complete(n int) *Graph { return graph.Complete(n) }
+
+// NewGraphBuilder returns a builder over n node slots.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// NewChurn returns a churn adversary starting from base, inserting add
+// and deleting del random edges per round.
+func NewChurn(base *Graph, add, del int, seed uint64) *ChurnAdversary {
+	return &adversary.Churn{Base: base, Add: add, Del: del, Seed: seed}
+}
+
+// NewEdgeMarkov returns an edge-Markov adversary over the footprint.
+func NewEdgeMarkov(footprint *Graph, pOn, pOff float64, seed uint64) *EdgeMarkovAdversary {
+	return &adversary.EdgeMarkov{Footprint: footprint, POn: pOn, POff: pOff, Seed: seed}
+}
+
+// StaggeredSchedule wakes perRound nodes per round in id order.
+func StaggeredSchedule(n, perRound int) []int { return adversary.StaggeredSchedule(n, perRound) }
+
+// UniformRandomSchedule wakes each node in a uniform round of [1, maxRound].
+func UniformRandomSchedule(n, maxRound int, seed uint64) []int {
+	return adversary.UniformRandomSchedule(n, maxRound, seed)
+}
+
+// NewTDynamicChecker verifies T-dynamic solutions round by round.
+func NewTDynamicChecker(p Problem, t, n int) *TDynamicChecker {
+	return verify.NewTDynamic(p, t, n)
+}
+
+// NewPartialChecker verifies property B.1 round by round.
+func NewPartialChecker(p Problem) *PartialChecker { return verify.NewPartial(p) }
+
+// NewStabilityChecker verifies locally-static guarantees: output changes
+// of nodes whose α-ball has been static for more than wait rounds are
+// violations.
+func NewStabilityChecker(n, alpha, wait int) *StabilityChecker {
+	return verify.NewStability(n, alpha, wait)
+}
+
+// NewSlidingWindow creates a T-round sliding window over n nodes.
+func NewSlidingWindow(t, n int) *SlidingWindow { return dyngraph.NewWindow(t, n) }
+
+// NewFracWindow creates a δ-fraction window (Section 7.2), 1 <= t <= 64.
+func NewFracWindow(t, n int) *FracWindow { return dyngraph.NewFracWindow(t, n) }
+
+// AllNodes returns the wake set {0, …, n-1}.
+func AllNodes(n int) []NodeID { return adversary.AllNodes(n) }

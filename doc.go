@@ -1,0 +1,59 @@
+// Package dynlocal is a library for local distributed graph algorithms in
+// highly dynamic networks, reproducing the framework and algorithms of
+//
+//	Philipp Bamberger, Fabian Kuhn, Yannic Maus:
+//	"Local Distributed Algorithms in Highly Dynamic Networks",
+//	IPDPS 2019 (arXiv:1802.10199).
+//
+// A dynamic network is a round-synchronous system in which a worst-case
+// adversary rewires the communication graph G_r in every round and nodes
+// may wake up asynchronously. The paper generalizes static graph problems
+// that decompose into a packing property (preserved under edge removal)
+// and a covering property (preserved under edge addition) to this
+// setting: a T-dynamic solution at round r satisfies the packing property
+// on the intersection graph G^∩T_r (edges present throughout the last T
+// rounds) and the covering property on the union graph G^∪T_r (edges
+// present at least once in the last T rounds).
+//
+// The library provides:
+//
+//   - the framework of Section 3: T-dynamic algorithms, (T, α)-network-
+//     static algorithms, and the Concat combiner of Theorem 1.1 that
+//     welds them into an algorithm emitting a T-dynamic solution every
+//     round while keeping outputs locally frozen wherever the graph is
+//     locally static;
+//   - the paper's instantiations for (degree+1)-vertex-coloring
+//     (Corollary 1.2: DColor + SColor) and maximal independent set
+//     (Corollary 1.3: DMis, a pipelined Luby variant, + SMis, a modified
+//     Ghaffari variant);
+//   - a deterministic round-synchronous simulator with a local-broadcast
+//     message model, asynchronous wake-up and parallel execution over
+//     goroutine-sharded nodes;
+//   - an adversary suite (churn, edge-Markov, conflict injection,
+//     locally-static freezing, wake-up schedules, trace replay, and the
+//     clairvoyant adaptive-offline adversary of the remark after
+//     Lemma 5.2);
+//   - machine checkers that verify every guarantee round by round, and
+//     baseline algorithms (greedy local repair, pipelined restart) for
+//     the comparative experiments.
+//
+// # Quick start
+//
+//	n := 1024
+//	algo := dynlocal.NewMIS(n) // Corollary 1.3 combined algorithm
+//	adv := dynlocal.NewChurn(dynlocal.GNP(n, 8.0/float64(n), 1), 16, 16, 2)
+//	eng := dynlocal.NewEngine(dynlocal.EngineConfig{N: n, Seed: 42}, adv, algo)
+//	check := dynlocal.NewTDynamicChecker(dynlocal.MISProblem(), algo.T1, n)
+//	eng.OnRound(func(info *dynlocal.RoundInfo) {
+//		rep := check.Observe(info.Graph, info.Wake, info.Outputs)
+//		if !rep.Valid() {
+//			log.Fatalf("round %d: guarantee violated", info.Round)
+//		}
+//	})
+//	eng.Run(200)
+//
+// See the examples directory for runnable scenarios (frequency
+// assignment under mobility, cluster-head election under churn,
+// asynchronous wake-up) and EXPERIMENTS.md for the reproduction of every
+// quantitative claim in the paper.
+package dynlocal

@@ -1,0 +1,75 @@
+// Command asyncwakeup demonstrates the asynchronous wake-up model of
+// Section 2: nodes join the network over time (V_0 = ∅ ⊆ V_1 ⊆ …), no
+// node knows the global round number, and every round of the paper's
+// algorithms is structurally identical — which is exactly what makes
+// asynchronous wake-up possible (Section 7.2 discusses why two-phase
+// algorithms like textbook Luby do not survive this model).
+//
+// The run wakes nodes in batches, tracks the growth of the core V^∩T
+// (nodes awake long enough for the guarantees to apply) and verifies
+// the T-dynamic coloring condition in every round.
+//
+// Usage:
+//
+//	go run ./examples/asyncwakeup [-n 400] [-batch 10] [-rounds 150]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dynlocal"
+)
+
+func main() {
+	n := flag.Int("n", 400, "number of nodes")
+	batch := flag.Int("batch", 10, "nodes waking per round")
+	rounds := flag.Int("rounds", 150, "rounds to simulate")
+	seed := flag.Uint64("seed", 5, "random seed")
+	flag.Parse()
+
+	base := dynlocal.GNP(*n, 8.0/float64(*n), *seed)
+	algo := dynlocal.NewColoring(*n)
+	adv := &dynlocal.WakeupAdversary{
+		Inner:    dynlocal.StaticAdversary{G: base},
+		Schedule: dynlocal.StaggeredSchedule(*n, *batch),
+	}
+	eng := dynlocal.NewEngine(dynlocal.EngineConfig{N: *n, Seed: *seed}, adv, algo)
+	check := dynlocal.NewTDynamicChecker(dynlocal.ColoringProblem(), algo.T1, *n)
+
+	fmt.Printf("asynchronous wake-up: %d nodes waking %d/round, window T=%d\n\n",
+		*n, *batch, algo.T1)
+	fmt.Printf("%6s %8s %8s %10s %8s\n", "round", "awake", "core", "colored", "valid")
+
+	invalid := 0
+	awake := 0
+	eng.OnRound(func(info *dynlocal.RoundInfo) {
+		awake += len(info.Wake)
+		rep := check.Observe(info.Graph, info.Wake, info.Outputs)
+		if !rep.Valid() {
+			invalid++
+		}
+		if info.Round%10 != 0 && info.Round != 1 {
+			return
+		}
+		colored := 0
+		for _, out := range info.Outputs {
+			if out != dynlocal.Bot {
+				colored++
+			}
+		}
+		fmt.Printf("%6d %8d %8d %10d %8v\n",
+			info.Round, awake, rep.CoreNodes, colored, rep.Valid())
+	})
+	eng.Run(*rounds)
+
+	fmt.Println()
+	if invalid != 0 {
+		log.Printf("FAILED: %d rounds violated the T-dynamic condition", invalid)
+		os.Exit(1)
+	}
+	fmt.Println("OK: guarantees held for every node from the moment it had been awake")
+	fmt.Println("    for T rounds — no global clock, no synchronized start required")
+}

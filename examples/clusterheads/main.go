@@ -1,0 +1,88 @@
+// Command clusterheads demonstrates MIS-based cluster-head election in a
+// dynamic peer-to-peer overlay (the monitoring/management-node selection
+// scenario the paper cites, [CCP+13]): an MIS of the overlay gives every
+// peer a cluster head within one hop, with no two heads adjacent.
+//
+// The overlay churns constantly — links flap with an edge-Markov process
+// — and the run compares the paper's combined algorithm (Corollary 1.3)
+// against the greedy-repair baseline on two axes:
+//
+//   - validity: rounds in which some peer has no head in its T-round
+//     union neighborhood (combined) / current neighborhood (baseline);
+//   - head stability: how often the head set changes — re-clustering is
+//     expensive, so fewer changes are better.
+//
+// Usage:
+//
+//	go run ./examples/clusterheads [-n 512] [-rounds 300] [-flap 0.02]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dynlocal"
+)
+
+func main() {
+	n := flag.Int("n", 512, "number of peers")
+	rounds := flag.Int("rounds", 300, "rounds to simulate")
+	flap := flag.Float64("flap", 0.02, "per-round link flap probability")
+	seed := flag.Uint64("seed", 11, "random seed")
+	flag.Parse()
+
+	footprint := dynlocal.GNP(*n, 10.0/float64(*n), *seed)
+
+	type result struct {
+		name         string
+		invalidRound int
+		headChanges  int
+		avgHeads     float64
+	}
+	var results []result
+
+	run := func(name string, algo dynlocal.Algorithm, window int) {
+		adv := dynlocal.NewEdgeMarkov(footprint, *flap, *flap, *seed+1)
+		eng := dynlocal.NewEngine(dynlocal.EngineConfig{N: *n, Seed: *seed}, adv, algo)
+		check := dynlocal.NewTDynamicChecker(dynlocal.MISProblem(), window, *n)
+		res := result{name: name}
+		prevHead := make([]bool, *n)
+		headSum := 0
+		eng.OnRound(func(info *dynlocal.RoundInfo) {
+			if rep := check.Observe(info.Graph, info.Wake, info.Outputs); !rep.Valid() {
+				res.invalidRound++
+			}
+			heads := 0
+			for v, out := range info.Outputs {
+				isHead := out == dynlocal.InMIS
+				if isHead {
+					heads++
+				}
+				if info.Round > 2*window && isHead != prevHead[v] {
+					res.headChanges++
+				}
+				prevHead[v] = isHead
+			}
+			headSum += heads
+		})
+		eng.Run(*rounds)
+		res.avgHeads = float64(headSum) / float64(*rounds)
+		results = append(results, res)
+	}
+
+	combined := dynlocal.NewMIS(*n)
+	run("combined (paper)", combined, combined.T1)
+	run("greedy-repair", dynlocal.NewGreedyRepairMIS(*n), combined.T1)
+
+	fmt.Printf("cluster-head election: %d peers, link flap %.1f%%/round, %d rounds, window T=%d\n\n",
+		*n, *flap*100, *rounds, combined.T1)
+	fmt.Printf("%-18s %14s %14s %10s\n", "algorithm", "invalidRounds", "headChanges", "avgHeads")
+	for _, r := range results {
+		fmt.Printf("%-18s %14d %14d %10.1f\n", r.name, r.invalidRound, r.headChanges, r.avgHeads)
+	}
+	fmt.Println()
+	fmt.Println("the combined algorithm keeps every round valid under constant churn, while")
+	fmt.Println("the repair baseline violates the windowed guarantee whenever changes outpace")
+	fmt.Println("its recovery; head stability is guaranteed only where the overlay is locally")
+	fmt.Println("static (run with -flap 0 to watch the head set freeze completely)")
+}

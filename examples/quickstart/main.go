@@ -1,0 +1,70 @@
+// Command quickstart runs the paper's combined dynamic MIS algorithm
+// (Corollary 1.3) on a churning random graph and verifies, round by
+// round, that the output is a T-dynamic solution: independence on the
+// T-intersection graph, domination on the T-union graph, and no ⊥ among
+// nodes that have been awake for T rounds.
+//
+// Usage:
+//
+//	go run ./examples/quickstart [-n 512] [-rounds 120] [-churn 8] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dynlocal"
+)
+
+func main() {
+	n := flag.Int("n", 512, "number of nodes")
+	rounds := flag.Int("rounds", 120, "rounds to simulate")
+	churn := flag.Int("churn", 8, "edge insertions and deletions per round")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+
+	avgDeg := 8.0
+	base := dynlocal.GNP(*n, avgDeg/float64(*n), *seed)
+	algo := dynlocal.NewMIS(*n)
+	adv := dynlocal.NewChurn(base, *churn, *churn, *seed+1)
+	eng := dynlocal.NewEngine(dynlocal.EngineConfig{N: *n, Seed: *seed}, adv, algo)
+	check := dynlocal.NewTDynamicChecker(dynlocal.MISProblem(), algo.T1, *n)
+
+	fmt.Printf("dynamic MIS on %d nodes, window T=%d, churn %d+%d edges/round\n\n",
+		*n, algo.T1, *churn, *churn)
+	fmt.Printf("%6s %8s %8s %8s %10s %8s\n",
+		"round", "|M|", "|D|", "⊥core", "∩edges", "valid")
+
+	invalid := 0
+	eng.OnRound(func(info *dynlocal.RoundInfo) {
+		rep := check.Observe(info.Graph, info.Wake, info.Outputs)
+		if !rep.Valid() {
+			invalid++
+		}
+		if info.Round%10 != 0 && info.Round != 1 {
+			return
+		}
+		var m, d int
+		for _, out := range info.Outputs {
+			switch out {
+			case dynlocal.InMIS:
+				m++
+			case dynlocal.Dominated:
+				d++
+			}
+		}
+		st := check.Window().Stats()
+		fmt.Printf("%6d %8d %8d %8d %10d %8v\n",
+			info.Round, m, d, rep.BotCore, st.IntersectionEdges, rep.Valid())
+	})
+	eng.Run(*rounds)
+
+	fmt.Println()
+	if invalid != 0 {
+		log.Printf("FAILED: %d of %d rounds violated the T-dynamic condition", invalid, *rounds)
+		os.Exit(1)
+	}
+	fmt.Printf("OK: all %d rounds produced valid T-dynamic MIS solutions under constant churn\n", *rounds)
+}

@@ -1,0 +1,144 @@
+// Package adversary implements the round-based adversaries of the paper's
+// dynamic-network model (Section 2): at the start of each round the
+// adversary provides the communication graph G_r and may wake additional
+// nodes (V_{r-1} ⊆ V_r).
+//
+// Obliviousness is modeled through the View interface: the engine hands a
+// ρ-oblivious adversary the algorithm outputs only up to round r-ρ, which
+// is exactly the information whose randomness the adversary may know
+// ("a 2-oblivious adversary does not know the random bits of round r and
+// r−1 when determining graph G_r"). The adaptive-offline adversary of the
+// remark after Lemma 5.2 is realized by LubyStaller, which is additionally
+// given the PRF seed and therefore knows every future random bit.
+package adversary
+
+import (
+	"dynlocal/internal/graph"
+	"dynlocal/internal/prf"
+	"dynlocal/internal/problems"
+)
+
+// Step is the adversary's move for one round.
+type Step struct {
+	G    *graph.Graph   // communication graph G_r
+	Wake []graph.NodeID // nodes waking up at the start of round r
+}
+
+// View is the information the model grants the adversary when it
+// constructs G_r. Implemented by the engine.
+type View interface {
+	// Round is the 1-based round being constructed.
+	Round() int
+	// N is the size of the potential-node universe.
+	N() int
+	// PrevGraph returns G_{r-1} (the empty graph before round 1).
+	PrevGraph() *graph.Graph
+	// Awake reports whether v is awake entering this round.
+	Awake(v graph.NodeID) bool
+	// DelayedOutputs returns the output snapshot at the end of round
+	// Round()-ρ for the engine's obliviousness lag ρ, or nil if that
+	// round predates the execution. The returned slice must not be
+	// modified.
+	DelayedOutputs() []problems.Value
+}
+
+// Adversary produces the graph sequence.
+type Adversary interface {
+	// Step returns round view.Round()'s graph and wake set. The returned
+	// graph must only contain edges between nodes awake after the wake
+	// set is applied.
+	Step(view View) Step
+}
+
+// AllNodes returns the full wake set 0..n-1.
+func AllNodes(n int) []graph.NodeID {
+	out := make([]graph.NodeID, n)
+	for i := range out {
+		out[i] = graph.NodeID(i)
+	}
+	return out
+}
+
+// Static plays a fixed graph every round and wakes all nodes at round 1.
+// With this adversary the simulation reduces to the classic static
+// synchronous model (Section 6).
+type Static struct {
+	G *graph.Graph
+}
+
+// Step implements Adversary.
+func (s Static) Step(v View) Step {
+	st := Step{G: s.G}
+	if v.Round() == 1 {
+		st.Wake = AllNodes(s.G.N())
+	}
+	return st
+}
+
+// Alternator switches between two graphs A and B, playing A for Period
+// rounds, then B for Period rounds, and so on. Period <= 0 behaves as 1
+// (strict alternation — the high-frequency worst case discussed in the
+// introduction, under which the window graphs become weak).
+type Alternator struct {
+	A, B   *graph.Graph
+	Period int
+}
+
+// Step implements Adversary.
+func (a Alternator) Step(v View) Step {
+	p := a.Period
+	if p <= 0 {
+		p = 1
+	}
+	st := Step{}
+	if ((v.Round()-1)/p)%2 == 0 {
+		st.G = a.A
+	} else {
+		st.G = a.B
+	}
+	if v.Round() == 1 {
+		st.Wake = AllNodes(a.A.N())
+	}
+	return st
+}
+
+// Scripted replays a recorded trace; after the trace is exhausted it keeps
+// playing the final graph.
+type Scripted struct {
+	steps []Step
+}
+
+// NewScripted materializes a trace into an adversary.
+func NewScripted(tr TraceSource) *Scripted {
+	s := &Scripted{}
+	tr.Replay(func(round int, g *graph.Graph, wake []graph.NodeID) {
+		s.steps = append(s.steps, Step{G: g, Wake: append([]graph.NodeID(nil), wake...)})
+	})
+	return s
+}
+
+// TraceSource is the replay surface of dyngraph.Trace, declared locally to
+// keep the package dependency-light.
+type TraceSource interface {
+	Replay(fn func(round int, g *graph.Graph, wake []graph.NodeID))
+}
+
+// Step implements Adversary.
+func (s *Scripted) Step(v View) Step {
+	r := v.Round()
+	if r <= len(s.steps) {
+		return s.steps[r-1]
+	}
+	if len(s.steps) == 0 {
+		return Step{G: graph.Empty(v.N())}
+	}
+	last := s.steps[len(s.steps)-1]
+	return Step{G: last.G}
+}
+
+// advStream returns the adversary-owned random stream for a round.
+// Adversary randomness is keyed with node id -1 so it never collides with
+// node streams.
+func advStream(seed uint64, round int) prf.Stream {
+	return prf.Make(seed, -1, round, prf.PurposeAdversary)
+}

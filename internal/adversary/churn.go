@@ -1,0 +1,137 @@
+package adversary
+
+import (
+	"dynlocal/internal/graph"
+	"dynlocal/internal/prf"
+)
+
+// Churn is the constant-turnover adversary motivating the paper: starting
+// from a base graph it deletes Del random existing edges and inserts Add
+// random fresh edges in every round, forever. There is no recovery period —
+// algorithms must give guarantees while this is happening.
+type Churn struct {
+	Base *graph.Graph
+	Add  int
+	Del  int
+	Seed uint64
+
+	n       int
+	keys    []graph.EdgeKey
+	keyIdx  map[graph.EdgeKey]int
+	started bool
+}
+
+func (c *Churn) init() {
+	c.n = c.Base.N()
+	c.keyIdx = make(map[graph.EdgeKey]int)
+	c.Base.EachEdge(func(u, v graph.NodeID) {
+		k := graph.MakeEdgeKey(u, v)
+		c.keyIdx[k] = len(c.keys)
+		c.keys = append(c.keys, k)
+	})
+	c.started = true
+}
+
+func (c *Churn) removeRandom(s *prf.Stream) {
+	if len(c.keys) == 0 {
+		return
+	}
+	i := s.Intn(len(c.keys))
+	k := c.keys[i]
+	last := len(c.keys) - 1
+	c.keys[i] = c.keys[last]
+	c.keyIdx[c.keys[i]] = i
+	c.keys = c.keys[:last]
+	delete(c.keyIdx, k)
+}
+
+func (c *Churn) addRandom(s *prf.Stream) {
+	for attempt := 0; attempt < 64; attempt++ {
+		u := graph.NodeID(s.Intn(c.n))
+		v := graph.NodeID(s.Intn(c.n))
+		if u == v {
+			continue
+		}
+		k := graph.MakeEdgeKey(u, v)
+		if _, ok := c.keyIdx[k]; ok {
+			continue
+		}
+		c.keyIdx[k] = len(c.keys)
+		c.keys = append(c.keys, k)
+		return
+	}
+}
+
+// Step implements Adversary.
+func (c *Churn) Step(v View) Step {
+	if !c.started {
+		c.init()
+	}
+	st := Step{}
+	if v.Round() == 1 {
+		st.Wake = AllNodes(c.n)
+	} else {
+		s := advStream(c.Seed, v.Round())
+		for i := 0; i < c.Del; i++ {
+			c.removeRandom(&s)
+		}
+		for i := 0; i < c.Add; i++ {
+			c.addRandom(&s)
+		}
+	}
+	st.G = graph.FromEdges(c.n, c.keys)
+	return st
+}
+
+// EdgeMarkov flips the edges of a footprint graph independently each round:
+// a present edge disappears with probability POff, an absent footprint edge
+// appears with probability POn. This is the standard edge-Markov
+// dynamic-graph process restricted to a footprint, an oblivious adversary
+// by construction (it never reads the view's outputs).
+type EdgeMarkov struct {
+	Footprint *graph.Graph
+	POn       float64
+	POff      float64
+	Seed      uint64
+
+	on      map[graph.EdgeKey]bool
+	started bool
+}
+
+func (m *EdgeMarkov) init() {
+	m.on = make(map[graph.EdgeKey]bool)
+	m.Footprint.EachEdge(func(u, v graph.NodeID) {
+		m.on[graph.MakeEdgeKey(u, v)] = true
+	})
+	m.started = true
+}
+
+// Step implements Adversary.
+func (m *EdgeMarkov) Step(v View) Step {
+	if !m.started {
+		m.init()
+	}
+	st := Step{}
+	if v.Round() == 1 {
+		st.Wake = AllNodes(m.Footprint.N())
+	} else {
+		s := advStream(m.Seed, v.Round())
+		for k, isOn := range m.on {
+			if isOn {
+				if s.Bernoulli(m.POff) {
+					m.on[k] = false
+				}
+			} else if s.Bernoulli(m.POn) {
+				m.on[k] = true
+			}
+		}
+	}
+	b := graph.NewBuilder(m.Footprint.N())
+	for k, isOn := range m.on {
+		if isOn {
+			b.AddEdgeKey(k)
+		}
+	}
+	st.G = b.Graph()
+	return st
+}

@@ -1,0 +1,175 @@
+package adversary
+
+import (
+	"dynlocal/internal/graph"
+)
+
+// LocalStatic wraps an inner adversary and freezes the topology around a
+// set of protected nodes so that the locally-static guarantees (property
+// B.2 and Theorem 1.1(2)) become testable: for each protected node v, the
+// induced subgraph on its α-neighborhood G_l[N^α(v)] is identical in every
+// round, while the inner adversary churns the rest of the graph freely.
+//
+// The freeze is implemented conservatively: let B = ∪_v Ball(Base, v, α).
+// Every round, edges of the inner graph incident to B are discarded and
+// replaced by the Base edges incident to B. Then (a) all paths of length
+// ≤ α from a protected node run through frozen nodes, so N^α(v) is the
+// Base ball every round, and (b) all edges induced on it are Base edges.
+type LocalStatic struct {
+	Inner     Adversary
+	Base      *graph.Graph
+	Protected []graph.NodeID
+	Alpha     int
+
+	frozen   []bool // node in B
+	baseEdge []graph.EdgeKey
+	started  bool
+}
+
+func (l *LocalStatic) init() {
+	l.frozen = make([]bool, l.Base.N())
+	for _, v := range l.Protected {
+		for _, u := range graph.Ball(l.Base, v, l.Alpha) {
+			l.frozen[u] = true
+		}
+	}
+	l.Base.EachEdge(func(u, v graph.NodeID) {
+		if l.frozen[u] || l.frozen[v] {
+			l.baseEdge = append(l.baseEdge, graph.MakeEdgeKey(u, v))
+		}
+	})
+	l.started = true
+}
+
+// FrozenZone returns the node set whose incident edges are frozen.
+func (l *LocalStatic) FrozenZone() []graph.NodeID {
+	if !l.started {
+		l.init()
+	}
+	var out []graph.NodeID
+	for v, f := range l.frozen {
+		if f {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// Step implements Adversary.
+func (l *LocalStatic) Step(v View) Step {
+	if !l.started {
+		l.init()
+	}
+	inner := l.Inner.Step(v)
+	b := graph.NewBuilder(l.Base.N())
+	inner.G.EachEdge(func(x, y graph.NodeID) {
+		if !l.frozen[x] && !l.frozen[y] {
+			b.AddEdge(x, y)
+		}
+	})
+	for _, k := range l.baseEdge {
+		b.AddEdgeKey(k)
+	}
+	st := Step{G: b.Graph(), Wake: inner.Wake}
+	if v.Round() == 1 {
+		// The frozen zone must be awake from the start: its topology is
+		// pinned from round 1.
+		st.Wake = mergeWake(st.Wake, l.FrozenZone())
+	}
+	return st
+}
+
+func mergeWake(a, b []graph.NodeID) []graph.NodeID {
+	seen := make(map[graph.NodeID]bool, len(a)+len(b))
+	var out []graph.NodeID
+	for _, v := range a {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, v := range b {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ConflictInjector wraps an inner adversary and, from round MinRound on,
+// repeatedly inserts edges between pairs of nodes that currently share the
+// same output — the targeted attack of experiment E2 ("any conflict between
+// two nodes caused by a newly inserted edge is resolved within T rounds").
+// It is ρ-oblivious for the engine's configured lag: pair selection uses
+// only View.DelayedOutputs.
+//
+// Injected edges persist, so an unresolved conflict would eventually enter
+// the intersection graph and be flagged by the T-dynamic checker.
+type ConflictInjector struct {
+	Inner    Adversary
+	Rate     int // injection attempts per round
+	MinRound int
+	Seed     uint64
+
+	injected []graph.EdgeKey
+	have     map[graph.EdgeKey]bool
+	// Injections records (round, edge) for experiment bookkeeping.
+	Injections []Injection
+}
+
+// Injection records one injected conflict edge.
+type Injection struct {
+	Round int
+	Edge  graph.EdgeKey
+}
+
+// Step implements Adversary.
+func (ci *ConflictInjector) Step(v View) Step {
+	if ci.have == nil {
+		ci.have = make(map[graph.EdgeKey]bool)
+	}
+	inner := ci.Inner.Step(v)
+	r := v.Round()
+	out := v.DelayedOutputs()
+	if r >= ci.MinRound && out != nil {
+		s := advStream(ci.Seed, r)
+		// Group nodes by output value.
+		groups := make(map[int64][]graph.NodeID)
+		for id, val := range out {
+			if val != 0 && v.Awake(graph.NodeID(id)) {
+				groups[int64(val)] = append(groups[int64(val)], graph.NodeID(id))
+			}
+		}
+		var candidates [][]graph.NodeID
+		for _, g := range groups {
+			if len(g) >= 2 {
+				candidates = append(candidates, g)
+			}
+		}
+		for i := 0; i < ci.Rate && len(candidates) > 0; i++ {
+			g := candidates[s.Intn(len(candidates))]
+			a := g[s.Intn(len(g))]
+			b := g[s.Intn(len(g))]
+			if a == b {
+				continue
+			}
+			k := graph.MakeEdgeKey(a, b)
+			if ci.have[k] || inner.G.HasEdge(a, b) {
+				continue
+			}
+			ci.have[k] = true
+			ci.injected = append(ci.injected, k)
+			ci.Injections = append(ci.Injections, Injection{Round: r, Edge: k})
+		}
+	}
+	if len(ci.injected) == 0 {
+		return inner
+	}
+	b := graph.NewBuilder(inner.G.N())
+	inner.G.EachEdge(b.AddEdge)
+	for _, k := range ci.injected {
+		b.AddEdgeKey(k)
+	}
+	return Step{G: b.Graph(), Wake: inner.Wake}
+}

@@ -1,0 +1,67 @@
+package adversary
+
+import (
+	"dynlocal/internal/graph"
+	"dynlocal/internal/prf"
+)
+
+// Wakeup wraps an inner adversary with an asynchronous wake-up schedule
+// (Section 2: V_0 = ∅ ⊆ V_1 ⊆ V_2 ⊆ …). Node v wakes in round
+// Schedule[v] (1-based); edges of the inner graph incident to still-asleep
+// nodes are suppressed. The inner adversary's own wake sets are ignored —
+// the schedule is authoritative.
+type Wakeup struct {
+	Inner    Adversary
+	Schedule []int
+
+	awake []bool
+}
+
+// Step implements Adversary.
+func (w *Wakeup) Step(v View) Step {
+	if w.awake == nil {
+		w.awake = make([]bool, len(w.Schedule))
+	}
+	r := v.Round()
+	var wake []graph.NodeID
+	for id, wr := range w.Schedule {
+		if wr == r {
+			w.awake[id] = true
+			wake = append(wake, graph.NodeID(id))
+		}
+	}
+	inner := w.Inner.Step(v)
+	b := graph.NewBuilder(inner.G.N())
+	inner.G.EachEdge(func(x, y graph.NodeID) {
+		if w.awake[x] && w.awake[y] {
+			b.AddEdge(x, y)
+		}
+	})
+	return Step{G: b.Graph(), Wake: wake}
+}
+
+// StaggeredSchedule wakes perRound nodes per round in id order.
+func StaggeredSchedule(n, perRound int) []int {
+	if perRound < 1 {
+		perRound = 1
+	}
+	sched := make([]int, n)
+	for v := 0; v < n; v++ {
+		sched[v] = v/perRound + 1
+	}
+	return sched
+}
+
+// UniformRandomSchedule wakes each node in a uniformly random round of
+// [1, maxRound].
+func UniformRandomSchedule(n, maxRound int, seed uint64) []int {
+	if maxRound < 1 {
+		maxRound = 1
+	}
+	s := prf.Make(seed, -2, 0, prf.PurposeAdversary)
+	sched := make([]int, n)
+	for v := range sched {
+		sched[v] = 1 + s.Intn(maxRound)
+	}
+	return sched
+}

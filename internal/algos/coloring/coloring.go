@@ -1,0 +1,40 @@
+package coloring
+
+import (
+	"dynlocal/internal/core"
+	"dynlocal/internal/graph"
+)
+
+// NewDynamic returns DColor as a standalone engine algorithm (every node
+// starts its instance at its wake round with its input value).
+func NewDynamic(n int) core.Single {
+	f := &DColorFactory{N: n}
+	return core.Single{Label: f.Name(), Factory: func(v graph.NodeID) core.NodeInstance {
+		return f.NewNode(v)
+	}, Bits: f.MessageBits}
+}
+
+// NewNetworkStatic returns SColor as a standalone engine algorithm.
+func NewNetworkStatic(n int) core.Single {
+	f := &SColorFactory{N: n}
+	return core.Single{Label: f.Name(), Factory: func(v graph.NodeID) core.NodeInstance {
+		return f.NewNode(v)
+	}, Bits: f.MessageBits}
+}
+
+// NewBasic returns Algorithm 6 as a standalone engine algorithm.
+func NewBasic(n int) core.Single {
+	f := &BasicFactory{N: n}
+	return core.Single{Label: f.Name(), Factory: func(v graph.NodeID) core.NodeInstance {
+		return f.NewNode(v)
+	}, Bits: f.MessageBits}
+}
+
+// NewColoring composes DColor and SColor through the framework combiner
+// into the algorithm of Corollary 1.2: w.h.p. it outputs a T-dynamic
+// solution for (degree+1)-coloring in every round, T = O(log n), and the
+// output of any node v is static on [r+2T, r₂] whenever the
+// 2-neighborhood of v is static on [r, r₂].
+func NewColoring(n int) *core.Concat {
+	return core.NewConcat(&DColorFactory{N: n}, &SColorFactory{N: n}, n)
+}

@@ -1,0 +1,66 @@
+package mis
+
+import (
+	"dynlocal/internal/core"
+	"dynlocal/internal/graph"
+)
+
+// NewDynamic returns DMis as a standalone engine algorithm.
+func NewDynamic(n int) core.Single {
+	f := &DMisFactory{N: n}
+	return core.Single{Label: f.Name(), Factory: func(v graph.NodeID) core.NodeInstance {
+		return f.NewNode(v)
+	}, Bits: f.MessageBits}
+}
+
+// NewNetworkStatic returns SMis as a standalone engine algorithm.
+func NewNetworkStatic(n int) core.Single {
+	f := &SMisFactory{N: n}
+	return core.Single{Label: f.Name(), Factory: func(v graph.NodeID) core.NodeInstance {
+		return f.NewNode(v)
+	}, Bits: f.MessageBits}
+}
+
+// NewLuby returns the pipelined Luby algorithm for static graphs: DMis on
+// a static graph is exactly Luby's algorithm with identical rounds
+// (Section 5.1); used by the static baselines.
+func NewLuby(n int) core.Single {
+	s := NewDynamic(n)
+	s.Label = "luby"
+	return s
+}
+
+// NewGhaffari returns the modified Ghaffari algorithm for static graphs:
+// SMis on a static graph never un-decides, so it behaves as the original
+// algorithm of [Gha16] with the pipelining and desire-floor modifications.
+func NewGhaffari(n int) core.Single {
+	s := NewNetworkStatic(n)
+	s.Label = "ghaffari"
+	return s
+}
+
+// NewMIS composes DMis and SMis through the framework combiner into the
+// algorithm of Corollary 1.3: w.h.p. it outputs a T-dynamic solution for
+// MIS in every round, T = O(log n), and the output of any node v is
+// static on [r+2T, r₂] whenever the 2-neighborhood of v is static on
+// [r, r₂]. Requires a 2-oblivious adversary (engine OutputLag >= 2).
+func NewMIS(n int) *core.Concat {
+	return core.NewConcat(&DMisFactory{N: n}, &SMisFactory{N: n}, n)
+}
+
+// NewChainedMIS instantiates the triple combiner of the Section 3 remark
+// for MIS: SMis feeds a mid pipeline of DMis instances with the smaller
+// window midWindow (the "stronger guarantee under limited dynamics"),
+// whose output feeds the outer DMis pipeline with the default window.
+// The outer output is always a T-dynamic solution; under dynamics mild
+// enough for the mid window, the effective freshness of the solution is
+// midWindow. midWindow must be at least 2; values below the default
+// window are the interesting regime.
+func NewChainedMIS(n, midWindow int) *core.Chain {
+	return core.NewChain(
+		&DMisFactory{N: n},
+		&DMisFactory{N: n, Window: midWindow},
+		&SMisFactory{N: n},
+		n,
+	)
+}

@@ -1,0 +1,201 @@
+// Package baseline implements the comparison algorithms the paper argues
+// against, for experiment E9:
+//
+//   - GreedyRepair: the recovery-period approach (in the spirit of
+//     [CHHK16]): maintain a solution for the current graph and locally
+//     repair it after each change with randomized contention resolution.
+//     Its repair guarantees assume changes stop while recovering; under
+//     constant churn it exhibits persistent violations of the T-dynamic
+//     condition — the phenomenon motivating the paper (Section 1).
+//   - Restart: the strawman from Section 1.1 — restart the dynamic
+//     algorithm pipeline every round WITHOUT a network-static base
+//     algorithm. Always produces a T-dynamic solution, but the output can
+//     change completely from round to round even on a static graph, which
+//     the output-churn metric exposes.
+package baseline
+
+import (
+	"dynlocal/internal/core"
+	"dynlocal/internal/engine"
+	"dynlocal/internal/graph"
+	"dynlocal/internal/prf"
+	"dynlocal/internal/problems"
+)
+
+// GreedyRepairMIS maintains an MIS of the current graph with local
+// repair: a node in M that becomes adjacent to another M node re-decides
+// by a coin flip after one recovery round; an undominated D node becomes
+// undecided; undecided nodes join M with probability 1/(degree+1) if no
+// neighbor is in M, becoming M if no contending candidate.
+type GreedyRepairMIS struct {
+	N int
+}
+
+// Name implements engine.Algorithm.
+func (g GreedyRepairMIS) Name() string { return "greedy-repair-mis" }
+
+// NewNode implements engine.Algorithm.
+func (g GreedyRepairMIS) NewNode(v graph.NodeID) engine.NodeProc {
+	return &greedyNode{v: v}
+}
+
+// Message kinds of the baseline algorithms.
+const (
+	kindInMIS uint8 = iota + 1
+	kindCandidate
+)
+
+type greedyNode struct {
+	v         graph.NodeID
+	out       problems.Value
+	candidate bool
+}
+
+func (n *greedyNode) Start(ctx *engine.Ctx, input problems.Value) { n.out = input }
+
+func (n *greedyNode) Broadcast(ctx *engine.Ctx, buf []engine.SubMsg) []engine.SubMsg {
+	switch n.out {
+	case problems.InMIS:
+		return append(buf, engine.SubMsg{Kind: kindInMIS})
+	case problems.Bot:
+		// Candidate with a degree-independent constant probability; the
+		// degree is unknown at broadcast time (baseline simplicity).
+		s := ctx.Stream(prf.PurposeAux)
+		n.candidate = s.Bernoulli(0.5)
+		if n.candidate {
+			return append(buf, engine.SubMsg{Kind: kindCandidate})
+		}
+	}
+	return buf
+}
+
+func (n *greedyNode) Process(ctx *engine.Ctx, in []engine.Incoming, deg int) {
+	misNbr := false
+	candNbr := false
+	for _, m := range in {
+		switch m.M.Kind {
+		case kindInMIS:
+			misNbr = true
+		case kindCandidate:
+			candNbr = true
+		}
+	}
+	switch n.out {
+	case problems.InMIS:
+		if misNbr {
+			// Conflict repair: demote and re-decide next round.
+			n.out = problems.Bot
+		}
+	case problems.Dominated:
+		if !misNbr {
+			n.out = problems.Bot
+		}
+	default:
+		if misNbr {
+			n.out = problems.Dominated
+		} else if n.candidate && !candNbr {
+			n.out = problems.InMIS
+		}
+	}
+}
+
+func (n *greedyNode) Output() problems.Value { return n.out }
+
+// GreedyRepairColoring maintains a coloring of the current graph with
+// local repair: a conflicting or out-of-range node discards its color and
+// re-draws uniformly from {1, …, deg+1} minus the fixed colors it saw.
+type GreedyRepairColoring struct {
+	N int
+}
+
+// Name implements engine.Algorithm.
+func (g GreedyRepairColoring) Name() string { return "greedy-repair-coloring" }
+
+// NewNode implements engine.Algorithm.
+func (g GreedyRepairColoring) NewNode(v graph.NodeID) engine.NodeProc {
+	return &greedyColorNode{v: v}
+}
+
+const (
+	kindColor uint8 = iota + 10
+)
+
+type greedyColorNode struct {
+	v   graph.NodeID
+	out problems.Value
+}
+
+func (n *greedyColorNode) Start(ctx *engine.Ctx, input problems.Value) { n.out = input }
+
+func (n *greedyColorNode) Broadcast(ctx *engine.Ctx, buf []engine.SubMsg) []engine.SubMsg {
+	return append(buf, engine.SubMsg{Kind: kindColor, A: int64(n.out)})
+}
+
+func (n *greedyColorNode) Process(ctx *engine.Ctx, in []engine.Incoming, deg int) {
+	conflict := false
+	used := make(map[int64]bool, len(in))
+	for _, m := range in {
+		if m.M.A != 0 {
+			used[m.M.A] = true
+			if m.M.A == int64(n.out) {
+				conflict = true
+			}
+		}
+	}
+	limit := int64(deg + 1)
+	if n.out != problems.Bot && !conflict && int64(n.out) <= limit {
+		return // color still valid
+	}
+	// Repair: re-draw from the free portion of {1,…,deg+1}.
+	free := make([]int64, 0, limit)
+	for c := int64(1); c <= limit; c++ {
+		if !used[c] {
+			free = append(free, c)
+		}
+	}
+	if len(free) == 0 {
+		n.out = problems.Bot
+		return
+	}
+	s := ctx.Stream(prf.PurposeAux)
+	n.out = problems.Value(free[s.Intn(len(free))])
+}
+
+func (n *greedyColorNode) Output() problems.Value { return n.out }
+
+// NewRestartMIS returns the pipelined-restart baseline for MIS: the
+// Concat combiner with a ⊥-emitting network-static part. It satisfies
+// Theorem 1.1(1) — T-dynamic solutions every round — but not (2): with no
+// stabilizing base algorithm the output is re-randomized by each
+// instance, flickering even on static graphs.
+func NewRestartMIS(n int, d core.DynamicAlgorithm) *core.Concat {
+	return core.NewConcat(d, BotStatic{}, n)
+}
+
+// BotStatic is the trivial "network-static" algorithm that always
+// outputs ⊥ and never communicates. Its partial solution is vacuously
+// valid (B.1) but it stabilizes nothing, so the combiner degenerates to
+// the strawman of Section 1.1.
+type BotStatic struct{}
+
+// Name implements core.NetworkStaticAlgorithm.
+func (BotStatic) Name() string { return "bot" }
+
+// StabilizationTime implements core.NetworkStaticAlgorithm. The returned
+// bound is meaningless: BotStatic stabilizes only the ⊥ output.
+func (BotStatic) StabilizationTime(n int) int { return 1 }
+
+// Alpha implements core.NetworkStaticAlgorithm.
+func (BotStatic) Alpha() int { return 1 }
+
+// NewNode implements core.NetworkStaticAlgorithm.
+func (BotStatic) NewNode(v graph.NodeID) core.NodeInstance { return botInstance{} }
+
+type botInstance struct{}
+
+func (botInstance) Start(*engine.Ctx, problems.Value) {}
+func (botInstance) Broadcast(ctx *engine.Ctx, buf []engine.SubMsg) []engine.SubMsg {
+	return buf
+}
+func (botInstance) Process(*engine.Ctx, []engine.Incoming, int) {}
+func (botInstance) Output() problems.Value                      { return problems.Bot }

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"dynlocal/internal/adversary"
+	"dynlocal/internal/engine"
+	"dynlocal/internal/graph"
+	"dynlocal/internal/problems"
+)
+
+func TestChainAccessors(t *testing.T) {
+	d := &probeDyn{window: 8}
+	m := &probeDyn{window: 4}
+	s := &probeStatic{alpha: 2, stab: 5}
+	c := NewChain(d, m, s, 6)
+	if c.T1 != 8 || c.Tm != 4 || c.T2 != 5 || c.StabilityWait() != 17 || c.Alpha() != 2 {
+		t.Fatalf("accessors wrong: %+v", c)
+	}
+	if c.Name() != "chain(probe-dyn,probe-dyn,probe-static)" {
+		t.Fatalf("name = %q", c.Name())
+	}
+}
+
+func TestChainRejectsTinyWindows(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewChain(&probeDyn{window: 8}, &probeDyn{window: 1}, &probeStatic{alpha: 1, stab: 1}, 3)
+}
+
+func TestChainChannelIsolation(t *testing.T) {
+	// probeDyn instances panic if a message from a different instance
+	// (different start round encoded in A) reaches them; with mid and
+	// outer instances started every round on interleaved channels, any
+	// routing bug between the layers trips it.
+	d := &probeDyn{window: 6}
+	m := &probeDyn{window: 4}
+	s := &probeStatic{alpha: 1, stab: 2}
+	c := NewChain(d, m, s, 5)
+	e := engine.New(engine.Config{N: 5, Seed: 3}, adversary.Static{G: graph.Complete(5)}, c)
+	e.Run(14)
+}
+
+func TestChainWarmupAndMaturity(t *testing.T) {
+	const T1 = 5
+	const Tm = 3
+	d := &probeDyn{window: T1}
+	m := &probeDyn{window: Tm}
+	s := &probeStatic{alpha: 1, stab: 2}
+	c := NewChain(d, m, s, 3)
+	e := engine.New(engine.Config{N: 3, Seed: 4}, adversary.Static{G: graph.Path(3)}, c)
+	// Output stays ⊥ until the outer pipeline matures (T1-1 rounds).
+	for r := 1; r <= T1-2; r++ {
+		info := e.Step()
+		if info.Outputs[0] != problems.Bot {
+			t.Fatalf("round %d: output %d during warm-up", r, info.Outputs[0])
+		}
+	}
+	// Mature outer instances carry (per probeDyn) 1000*start + input,
+	// where input is the mid output captured at their start: the mid
+	// instance outputs 1000*itsStart + salg output (node id + 1).
+	info := e.Step() // round T1-1: outer I_1 matured (started round 1)
+	if info.Outputs[0] == problems.Bot {
+		t.Fatal("output still ⊥ after outer pipeline matured")
+	}
+	// Outer instance started at round 1 captured the mid output before
+	// any mid instance existed -> input ⊥ (0).
+	if got, want := info.Outputs[0], problems.Value(1000); got != want {
+		t.Fatalf("output %d, want %d (outer started r1 on ⊥)", got, want)
+	}
+	// Much later: outer instance started at round r captured the mature
+	// mid output of round r-1: mid front at r-1 started at round r-Tm+1,
+	// and its input was salg output (= node id+1 = 1).
+	e.Run(10)
+	r := e.Round() + 1 // next round's outer instance start
+	_ = r
+	info = e.Step()
+	outerStart := info.Round - T1 + 2
+	midStart := (outerStart - 1) - Tm + 2
+	want := problems.Value(1000*int64(outerStart) + 1000*int64(midStart) + 1)
+	if info.Outputs[0] != want {
+		t.Fatalf("steady-state output %d, want %d", info.Outputs[0], want)
+	}
+}
+
+func TestChainPurposeSeparationAcrossLayers(t *testing.T) {
+	// Mid and outer instances of the same algorithm live on interleaved
+	// channels; the randProbe panics if any two draws collide, which
+	// would happen if a mid and an outer instance shared a purpose base.
+	draws := make(map[uint64]string)
+	d := &randProbe{window: 5, draws: draws}
+	m := &randProbe{window: 4, draws: draws}
+	s := &probeStatic{alpha: 1, stab: 2}
+	c := NewChain(d, m, s, 2)
+	e := engine.New(engine.Config{N: 2, Seed: 9}, adversary.Static{G: graph.Path(2)}, c)
+	e.Run(8)
+	if len(draws) == 0 {
+		t.Fatal("no draws recorded")
+	}
+}

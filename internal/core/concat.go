@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+
+	"dynlocal/internal/engine"
+	"dynlocal/internal/graph"
+	"dynlocal/internal/prf"
+	"dynlocal/internal/problems"
+)
+
+// Concat is Algorithm 1 / Theorem 1.1: it runs one instance of a
+// (T2, α)-network-static algorithm SAlg from each node's wake-up round,
+// and a pipeline of T1-1 concurrently live instances of a T1-dynamic
+// algorithm DAlg. In every round r each node starts a fresh DAlg instance
+// on its current SAlg output φ_{r-1}, discards the oldest instance, and
+// outputs the oldest live instance — which by then has run for T1-1 rounds
+// and (property A.2) extends a partial solution into a T1-dynamic solution.
+// If the α-neighborhood of a node is static, SAlg's output freezes within
+// T2 rounds (property B.2) and, because DAlg is input-extending (A.1), so
+// does Concat's output: Theorem 1.1(2).
+//
+// Instance alignment across nodes uses the engine round as the channel id.
+// The paper notes a common global round counter is not needed; operationally
+// every message could carry its instance's age instead, which identifies
+// the instance uniquely among the T1-1 live ones. The engine round is the
+// same information precomputed.
+type Concat struct {
+	D DynamicAlgorithm
+	S NetworkStaticAlgorithm
+	N int
+
+	T1   int
+	T2   int
+	Bits func(m engine.SubMsg) int
+}
+
+// NewConcat builds the combined algorithm for a universe of n nodes.
+func NewConcat(d DynamicAlgorithm, s NetworkStaticAlgorithm, n int) *Concat {
+	t1 := d.WindowSize(n)
+	if t1 < 2 {
+		panic(fmt.Sprintf("core: dynamic window T1 = %d < 2", t1))
+	}
+	c := &Concat{D: d, S: s, N: n, T1: t1, T2: s.StabilizationTime(n)}
+	db, dOK := d.(MessageBitsFunc)
+	sb, sOK := s.(MessageBitsFunc)
+	if dOK && sOK {
+		c.Bits = func(m engine.SubMsg) int {
+			if m.Chan == 0 {
+				return sb.MessageBits(m)
+			}
+			return db.MessageBits(m)
+		}
+	}
+	return c
+}
+
+// Name implements engine.Algorithm.
+func (c *Concat) Name() string {
+	return fmt.Sprintf("concat(%s,%s)", c.D.Name(), c.S.Name())
+}
+
+// Alpha returns the locality radius inherited from the network-static part.
+func (c *Concat) Alpha() int { return c.S.Alpha() }
+
+// StabilityWait returns T1+T2: by Theorem 1.1(2) the output of a node
+// whose α-ball is static from round r on is fixed from round r+T1+T2.
+func (c *Concat) StabilityWait() int { return c.T1 + c.T2 }
+
+// MessageBits implements engine.BitSizer when both parts declare sizes.
+func (c *Concat) MessageBits(m engine.SubMsg) int {
+	if c.Bits == nil {
+		return 0
+	}
+	return c.Bits(m)
+}
+
+// NewNode implements engine.Algorithm.
+func (c *Concat) NewNode(v graph.NodeID) engine.NodeProc {
+	return &concatProc{c: c, v: v}
+}
+
+// dSlot is one live dynamic-algorithm instance at a node.
+type dSlot struct {
+	ch   int32
+	inst NodeInstance
+	age  int // rounds processed
+}
+
+type concatProc struct {
+	c    *Concat
+	v    graph.NodeID
+	salg NodeInstance
+	dal  []dSlot // front = oldest
+	buck []engine.Incoming
+}
+
+// dalgPurpose derives the purpose base of a dynamic instance channel,
+// avoiding slot 0 (reserved for SAlg). Collisions between live instances
+// are impossible for T1-1 < purposeSlots-1.
+func dalgPurpose(ch int32) prf.Purpose {
+	slot := 1 + (uint32(ch)-1)%(purposeSlots-1)
+	return instancePurpose(int32(slot))
+}
+
+func (p *concatProc) Start(ctx *engine.Ctx, input problems.Value) {
+	p.salg = p.c.S.NewNode(p.v)
+	sctx := *ctx
+	sctx.PurposeBase = instancePurpose(0)
+	p.salg.Start(&sctx, input)
+}
+
+func (p *concatProc) Broadcast(ctx *engine.Ctx, buf []engine.SubMsg) []engine.SubMsg {
+	// Line 1 of Algorithm 1: start a new DAlg instance on the current
+	// SAlg output.
+	ch := int32(ctx.Round)
+	inst := p.c.D.NewNode(p.v)
+	dctx := *ctx
+	dctx.PurposeBase = dalgPurpose(ch)
+	inst.Start(&dctx, p.salg.Output())
+	p.dal = append(p.dal, dSlot{ch: ch, inst: inst})
+	// Lines 2-3: cap the pipeline at T1-1 live instances.
+	if len(p.dal) > p.c.T1-1 {
+		p.dal = p.dal[1:]
+	}
+
+	// SAlg sub-messages on channel 0.
+	sctx := *ctx
+	sctx.PurposeBase = instancePurpose(0)
+	start := len(buf)
+	buf = p.salg.Broadcast(&sctx, buf)
+	for i := start; i < len(buf); i++ {
+		buf[i].Chan = 0
+	}
+	// Each live DAlg instance on its channel.
+	for i := range p.dal {
+		s := &p.dal[i]
+		ictx := *ctx
+		ictx.PurposeBase = dalgPurpose(s.ch)
+		start = len(buf)
+		buf = s.inst.Broadcast(&ictx, buf)
+		for j := start; j < len(buf); j++ {
+			buf[j].Chan = s.ch
+		}
+	}
+	return buf
+}
+
+func (p *concatProc) Process(ctx *engine.Ctx, in []engine.Incoming, deg int) {
+	// Route channel 0 to SAlg.
+	sctx := *ctx
+	sctx.PurposeBase = instancePurpose(0)
+	p.salg.Process(&sctx, p.filter(in, 0), deg)
+	// Route each instance channel.
+	for i := range p.dal {
+		s := &p.dal[i]
+		ictx := *ctx
+		ictx.PurposeBase = dalgPurpose(s.ch)
+		s.inst.Process(&ictx, p.filter(in, s.ch), deg)
+		s.age++
+	}
+}
+
+// filter extracts the sub-messages of one channel, reusing the proc's
+// scratch buffer (valid until the next filter call).
+func (p *concatProc) filter(in []engine.Incoming, ch int32) []engine.Incoming {
+	out := p.buck[:0]
+	for _, m := range in {
+		if m.M.Chan == ch {
+			out = append(out, m)
+		}
+	}
+	p.buck = out[:0]
+	return out
+}
+
+// Output implements line 7 of Algorithm 1: the output of the oldest live
+// DAlg instance once it has run its full T1-1 rounds; ⊥ while the pipeline
+// is still warming up after the node's wake round.
+func (p *concatProc) Output() problems.Value {
+	if len(p.dal) == 0 {
+		return problems.Bot
+	}
+	front := &p.dal[0]
+	if front.age < p.c.T1-1 {
+		return problems.Bot
+	}
+	return front.inst.Output()
+}

@@ -1,0 +1,126 @@
+package dyngraph
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dynlocal/internal/graph"
+)
+
+// FracWindow implements the δ-fraction window generalization proposed as
+// future work in Section 7.2 of the paper: the graph G^{δ,T}_r contains the
+// edges that were present in at least ⌈δ·W⌉ of the last W = min(r, T)
+// observed rounds, for δ ∈ (0, 1]. δ = 1 recovers the intersection-style
+// requirement "present in every round of the window" and δ → 0 approaches
+// the union graph (any single appearance suffices).
+//
+// Presence is tracked as a per-edge rolling bitmask; the window size is
+// limited to 64 rounds, which is not a practical restriction since the
+// paper's windows are T = O(log n).
+type FracWindow struct {
+	t     int
+	n     int
+	round int
+	mask  map[graph.EdgeKey]uint64
+	wake  []int
+}
+
+// NewFracWindow creates a δ-fraction window of size 1 <= t <= 64.
+func NewFracWindow(t, n int) *FracWindow {
+	if t < 1 || t > 64 {
+		panic(fmt.Sprintf("dyngraph: frac window size %d outside [1,64]", t))
+	}
+	return &FracWindow{t: t, n: n, mask: make(map[graph.EdgeKey]uint64), wake: make([]int, n)}
+}
+
+// T returns the window size.
+func (w *FracWindow) T() int { return w.t }
+
+// Round returns the last observed round.
+func (w *FracWindow) Round() int { return w.round }
+
+// Observe advances the window with the round graph g and newly awake nodes.
+func (w *FracWindow) Observe(g *graph.Graph, wakeNow []graph.NodeID) {
+	if g.N() != w.n {
+		panic("dyngraph: graph node space does not match frac window")
+	}
+	w.round++
+	for _, v := range wakeNow {
+		if w.wake[v] == 0 {
+			w.wake[v] = w.round
+		}
+	}
+	// Age all known edges by one round; drop the ones that left the window
+	// entirely. keep keeps the low t bits only.
+	keep := ^uint64(0)
+	if w.t < 64 {
+		keep = (1 << uint(w.t)) - 1
+	}
+	for k, m := range w.mask {
+		m = (m << 1) & keep
+		if m == 0 {
+			delete(w.mask, k)
+		} else {
+			w.mask[k] = m
+		}
+	}
+	g.EachEdge(func(u, v graph.NodeID) {
+		k := graph.MakeEdgeKey(u, v)
+		w.mask[k] |= 1
+	})
+}
+
+// Count returns in how many of the windowed rounds the edge was present.
+func (w *FracWindow) Count(u, v graph.NodeID) int {
+	if u == v {
+		return 0
+	}
+	return bits.OnesCount64(w.mask[graph.MakeEdgeKey(u, v)])
+}
+
+// threshold returns the presence count required for inclusion at fraction
+// delta: ⌈δ·T⌉, clamped to at least 1. The fraction is always taken over
+// the full window size T; rounds before the sequence started count as
+// absent (the paper's round 0 is the empty graph), so δ = 1 reproduces the
+// intersection graph's empty-before-round-T behavior.
+func (w *FracWindow) threshold(delta float64) int {
+	th := int(delta * float64(w.t))
+	if float64(th) < delta*float64(w.t) {
+		th++
+	}
+	if th < 1 {
+		th = 1
+	}
+	return th
+}
+
+// Graph materializes G^{δ,T}_r for the given δ ∈ (0, 1].
+func (w *FracWindow) Graph(delta float64) *graph.Graph {
+	if delta <= 0 || delta > 1 {
+		panic(fmt.Sprintf("dyngraph: delta %v outside (0,1]", delta))
+	}
+	th := w.threshold(delta)
+	b := graph.NewBuilder(w.n)
+	for k, m := range w.mask {
+		if bits.OnesCount64(m) >= th {
+			b.AddEdgeKey(k)
+		}
+	}
+	return b.Graph()
+}
+
+// CoreNodes returns the nodes awake throughout the window, as for Window
+// (empty before round T).
+func (w *FracWindow) CoreNodes() []graph.NodeID {
+	r0 := w.round - w.t + 1
+	if r0 < 1 {
+		return nil
+	}
+	var out []graph.NodeID
+	for v := 0; v < w.n; v++ {
+		if w.wake[v] != 0 && w.wake[v] <= r0 {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}

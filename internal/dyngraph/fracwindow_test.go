@@ -1,0 +1,182 @@
+package dyngraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynlocal/internal/graph"
+)
+
+// directFracGraph computes G^{δ,T} from the raw history. The threshold is
+// ⌈δ·T⌉ over the full window size; rounds before the sequence started count
+// as absent (round 0 is the empty graph).
+func directFracGraph(history []*graph.Graph, T int, delta float64) *graph.Graph {
+	r := len(history)
+	r0 := r - T + 1
+	if r0 < 1 {
+		r0 = 1
+	}
+	th := int(delta * float64(T))
+	if float64(th) < delta*float64(T) {
+		th++
+	}
+	if th < 1 {
+		th = 1
+	}
+	counts := make(map[graph.EdgeKey]int)
+	for _, g := range history[r0-1 : r] {
+		g.EachEdge(func(u, v graph.NodeID) {
+			counts[graph.MakeEdgeKey(u, v)]++
+		})
+	}
+	b := graph.NewBuilder(history[0].N())
+	for k, c := range counts {
+		if c >= th {
+			b.AddEdgeKey(k)
+		}
+	}
+	return b.Graph()
+}
+
+func TestFracWindowMatchesDirect(t *testing.T) {
+	const n = 20
+	const T = 5
+	s := wstream(77)
+	w := NewFracWindow(T, n)
+	var history []*graph.Graph
+	for round := 1; round <= 18; round++ {
+		g := graph.GNP(n, 0.2, s)
+		var wake []graph.NodeID
+		if round == 1 {
+			wake = allNodes(n)
+		}
+		w.Observe(g, wake)
+		history = append(history, g)
+		for _, delta := range []float64{0.2, 0.5, 0.8, 1.0} {
+			got := w.Graph(delta)
+			want := directFracGraph(history, T, delta)
+			if !got.Equal(want) {
+				t.Fatalf("round %d δ=%v mismatch\ngot  %s\nwant %s",
+					round, delta, got.DebugString(), want.DebugString())
+			}
+		}
+	}
+}
+
+func TestFracWindowDeltaOneEqualsIntersection(t *testing.T) {
+	f := func(seed uint16) bool {
+		const n = 14
+		const T = 4
+		s := wstream(uint64(seed))
+		fw := NewFracWindow(T, n)
+		w := NewWindow(T, n)
+		for round := 1; round <= 12; round++ {
+			g := graph.GNP(n, 0.25, s)
+			var wake []graph.NodeID
+			if round == 1 {
+				wake = allNodes(n)
+			}
+			fw.Observe(g.Clone(), wake)
+			w.Observe(g, wake)
+			if !fw.Graph(1.0).Equal(w.IntersectionGraph()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFracWindowSmallDeltaEqualsUnion(t *testing.T) {
+	// δ small enough that threshold = 1 => union graph.
+	const n = 14
+	const T = 6
+	s := wstream(123)
+	fw := NewFracWindow(T, n)
+	w := NewWindow(T, n)
+	for round := 1; round <= 15; round++ {
+		g := graph.GNP(n, 0.2, s)
+		var wake []graph.NodeID
+		if round == 1 {
+			wake = allNodes(n)
+		}
+		fw.Observe(g.Clone(), wake)
+		w.Observe(g, wake)
+		if !fw.Graph(0.01).Equal(w.UnionGraph()) {
+			t.Fatalf("round %d: δ→0 graph differs from union", round)
+		}
+	}
+}
+
+func TestFracWindowMonotoneInDelta(t *testing.T) {
+	// Increasing δ can only remove edges.
+	const n = 16
+	const T = 5
+	s := wstream(321)
+	fw := NewFracWindow(T, n)
+	for round := 1; round <= 10; round++ {
+		var wake []graph.NodeID
+		if round == 1 {
+			wake = allNodes(n)
+		}
+		fw.Observe(graph.GNP(n, 0.3, s), wake)
+	}
+	deltas := []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.0}
+	prev := fw.Graph(deltas[0])
+	for _, d := range deltas[1:] {
+		cur := fw.Graph(d)
+		cur.EachEdge(func(u, v graph.NodeID) {
+			if !prev.HasEdge(u, v) {
+				t.Fatalf("δ=%v has edge {%d,%d} missing at smaller δ", d, u, v)
+			}
+		})
+		prev = cur
+	}
+}
+
+func TestFracWindowCount(t *testing.T) {
+	w := NewFracWindow(4, 3)
+	e := graph.FromEdges(3, []graph.EdgeKey{graph.MakeEdgeKey(0, 1)})
+	empty := graph.Empty(3)
+	w.Observe(e, allNodes(3))
+	w.Observe(empty, nil)
+	w.Observe(e, nil)
+	if got := w.Count(0, 1); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+	w.Observe(empty, nil)
+	w.Observe(empty, nil)
+	// Window covers rounds 2..5: edge present only in round 3.
+	if got := w.Count(0, 1); got != 1 {
+		t.Fatalf("Count after aging = %d, want 1", got)
+	}
+	if w.Count(1, 1) != 0 {
+		t.Fatal("self loop count nonzero")
+	}
+}
+
+func TestFracWindowValidation(t *testing.T) {
+	for _, bad := range []int{0, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for T=%d", bad)
+				}
+			}()
+			NewFracWindow(bad, 4)
+		}()
+	}
+	w := NewFracWindow(4, 4)
+	for _, badDelta := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for delta=%v", badDelta)
+				}
+			}()
+			w.Graph(badDelta)
+		}()
+	}
+}

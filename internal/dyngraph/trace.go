@@ -1,0 +1,209 @@
+package dyngraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dynlocal/internal/graph"
+)
+
+// Trace records a dynamic graph sequence (one communication graph plus a
+// wake set per round) in a delta-encoded binary format, so adversarial
+// schedules can be persisted, shipped with bug reports and replayed
+// deterministically (adversary.Scripted replays a Trace).
+//
+// Wire format (all integers unsigned varints):
+//
+//	magic "DYNT" | version | n | rounds
+//	per round: |wake| wake… |added| addedEdgeKeys… |removed| removedEdgeKeys…
+//
+// Edge keys are delta-encoded within a round after sorting.
+type Trace struct {
+	n      int
+	rounds []step
+}
+
+type step struct {
+	wake    []graph.NodeID
+	added   []graph.EdgeKey
+	removed []graph.EdgeKey
+}
+
+// NewTrace creates an empty trace over a node universe of size n.
+func NewTrace(n int) *Trace { return &Trace{n: n} }
+
+// N returns the node-universe size.
+func (t *Trace) N() int { return t.n }
+
+// Rounds returns the number of recorded rounds.
+func (t *Trace) Rounds() int { return len(t.rounds) }
+
+// Append records the next round. prev is the previous round's graph (nil
+// for the first round, meaning the empty graph); g the new graph.
+func (t *Trace) Append(prev, g *graph.Graph, wake []graph.NodeID) {
+	if g.N() != t.n {
+		panic("dyngraph: trace node space mismatch")
+	}
+	var st step
+	st.wake = append(st.wake, wake...)
+	if prev == nil {
+		prev = graph.Empty(t.n)
+	}
+	g.EachEdge(func(u, v graph.NodeID) {
+		if !prev.HasEdge(u, v) {
+			st.added = append(st.added, graph.MakeEdgeKey(u, v))
+		}
+	})
+	prev.EachEdge(func(u, v graph.NodeID) {
+		if !g.HasEdge(u, v) {
+			st.removed = append(st.removed, graph.MakeEdgeKey(u, v))
+		}
+	})
+	t.rounds = append(t.rounds, st)
+}
+
+// Replay reconstructs the graph sequence, invoking fn for each round with
+// the round number (1-based), the graph and the wake set. The graph passed
+// to fn must not be retained across calls if modified.
+func (t *Trace) Replay(fn func(round int, g *graph.Graph, wake []graph.NodeID)) {
+	b := graph.NewBuilder(t.n)
+	for i, st := range t.rounds {
+		for _, k := range st.added {
+			b.AddEdgeKey(k)
+		}
+		for _, k := range st.removed {
+			u, v := k.Nodes()
+			b.RemoveEdge(u, v)
+		}
+		fn(i+1, b.Graph(), st.wake)
+	}
+}
+
+// GraphAt materializes the graph of a single (1-based) round.
+func (t *Trace) GraphAt(round int) *graph.Graph {
+	if round < 1 || round > len(t.rounds) {
+		panic(fmt.Sprintf("dyngraph: round %d outside trace [1,%d]", round, len(t.rounds)))
+	}
+	var out *graph.Graph
+	t.Replay(func(r int, g *graph.Graph, _ []graph.NodeID) {
+		if r == round {
+			out = g
+		}
+	})
+	return out
+}
+
+const traceMagic = "DYNT"
+const traceVersion = 1
+
+// Encode writes the trace in the binary wire format.
+func (t *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	putUvarint(bw, traceVersion)
+	putUvarint(bw, uint64(t.n))
+	putUvarint(bw, uint64(len(t.rounds)))
+	for _, st := range t.rounds {
+		putUvarint(bw, uint64(len(st.wake)))
+		for _, v := range st.wake {
+			putUvarint(bw, uint64(uint32(v)))
+		}
+		writeEdgeList(bw, st.added)
+		writeEdgeList(bw, st.removed)
+	}
+	return bw.Flush()
+}
+
+func writeEdgeList(bw *bufio.Writer, edges []graph.EdgeKey) {
+	sorted := append([]graph.EdgeKey(nil), edges...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	putUvarint(bw, uint64(len(sorted)))
+	prev := uint64(0)
+	for _, k := range sorted {
+		putUvarint(bw, uint64(k)-prev)
+		prev = uint64(k)
+	}
+}
+
+func putUvarint(bw *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	bw.Write(buf[:n]) //nolint:errcheck // bufio.Writer errors surface at Flush
+}
+
+// DecodeTrace reads a trace from the binary wire format.
+func DecodeTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("dyngraph: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, errors.New("dyngraph: bad trace magic")
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if version != traceVersion {
+		return nil, fmt.Errorf("dyngraph: unsupported trace version %d", version)
+	}
+	n64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	rounds, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTrace(int(n64))
+	for i := uint64(0); i < rounds; i++ {
+		var st step
+		wn, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < wn; j++ {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			st.wake = append(st.wake, graph.NodeID(uint32(v)))
+		}
+		if st.added, err = readEdgeList(br); err != nil {
+			return nil, err
+		}
+		if st.removed, err = readEdgeList(br); err != nil {
+			return nil, err
+		}
+		t.rounds = append(t.rounds, st)
+	}
+	return t, nil
+}
+
+func readEdgeList(br *bufio.Reader) ([]graph.EdgeKey, error) {
+	cnt, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]graph.EdgeKey, 0, cnt)
+	prev := uint64(0)
+	for i := uint64(0); i < cnt; i++ {
+		d, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		prev += d
+		out = append(out, graph.EdgeKey(prev))
+	}
+	return out, nil
+}

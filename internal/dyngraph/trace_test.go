@@ -1,0 +1,123 @@
+package dyngraph
+
+import (
+	"bytes"
+	"testing"
+
+	"dynlocal/internal/graph"
+)
+
+func buildSampleTrace(t *testing.T, seed uint64, n, rounds int) (*Trace, []*graph.Graph) {
+	t.Helper()
+	s := wstream(seed)
+	tr := NewTrace(n)
+	var prev *graph.Graph
+	var history []*graph.Graph
+	for r := 1; r <= rounds; r++ {
+		g := graph.GNP(n, 0.15, s)
+		var wake []graph.NodeID
+		if r == 1 {
+			wake = allNodes(n)
+		}
+		tr.Append(prev, g, wake)
+		history = append(history, g)
+		prev = g
+	}
+	return tr, history
+}
+
+func TestTraceReplayReconstructsGraphs(t *testing.T) {
+	tr, history := buildSampleTrace(t, 9, 18, 12)
+	var replayed []*graph.Graph
+	var wakeRounds []int
+	tr.Replay(func(round int, g *graph.Graph, wake []graph.NodeID) {
+		replayed = append(replayed, g)
+		if len(wake) > 0 {
+			wakeRounds = append(wakeRounds, round)
+		}
+	})
+	if len(replayed) != len(history) {
+		t.Fatalf("replayed %d rounds, want %d", len(replayed), len(history))
+	}
+	for i := range history {
+		if !replayed[i].Equal(history[i]) {
+			t.Fatalf("round %d graph mismatch", i+1)
+		}
+	}
+	if len(wakeRounds) != 1 || wakeRounds[0] != 1 {
+		t.Fatalf("wake rounds = %v", wakeRounds)
+	}
+}
+
+func TestTraceGraphAt(t *testing.T) {
+	tr, history := buildSampleTrace(t, 4, 10, 8)
+	for r := 1; r <= 8; r++ {
+		if !tr.GraphAt(r).Equal(history[r-1]) {
+			t.Fatalf("GraphAt(%d) mismatch", r)
+		}
+	}
+}
+
+func TestTraceGraphAtOutOfRangePanics(t *testing.T) {
+	tr, _ := buildSampleTrace(t, 4, 10, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.GraphAt(4)
+}
+
+func TestTraceEncodeDecodeRoundTrip(t *testing.T) {
+	tr, history := buildSampleTrace(t, 31, 25, 15)
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeTrace(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.N() != tr.N() || got.Rounds() != tr.Rounds() {
+		t.Fatalf("header mismatch: n=%d rounds=%d", got.N(), got.Rounds())
+	}
+	i := 0
+	got.Replay(func(round int, g *graph.Graph, _ []graph.NodeID) {
+		if !g.Equal(history[i]) {
+			t.Fatalf("decoded round %d graph mismatch", round)
+		}
+		i++
+	})
+}
+
+func TestTraceDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeTrace(bytes.NewReader([]byte("NOPE"))); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	if _, err := DecodeTrace(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	// Valid magic, truncated body.
+	if _, err := DecodeTrace(bytes.NewReader([]byte("DYNT"))); err == nil {
+		t.Fatal("expected error for truncated trace")
+	}
+}
+
+func TestTraceEncodingIsCompact(t *testing.T) {
+	// Delta encoding should beat 16 bytes/edge-change by a wide margin on
+	// sorted keys.
+	tr, history := buildSampleTrace(t, 77, 64, 30)
+	changes := 0
+	prev := graph.Empty(64)
+	for _, g := range history {
+		changes += graph.Difference(g, prev).M() + graph.Difference(prev, g).M()
+		prev = g
+	}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if changes > 0 && buf.Len() > 10*changes {
+		t.Fatalf("trace encoding too large: %d bytes for %d changes", buf.Len(), changes)
+	}
+}

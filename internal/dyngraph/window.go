@@ -1,0 +1,228 @@
+// Package dyngraph maintains the sliding-window views of a dynamic graph
+// that define feasibility in the paper (Definition 2.1): the T-intersection
+// graph G^∩T_r (edges present throughout the last T rounds, on the node set
+// V^∩T_r of nodes awake for at least T rounds) and the T-union graph G^∪T_r
+// (edges present at least once in the last T rounds). It also implements the
+// δ-fraction generalization sketched as future work in Section 7.2, and a
+// binary trace format for recording and replaying dynamic graph sequences.
+//
+// Window maintenance is incremental: per round the cost is O(|E_r|) map
+// updates plus an amortized purge, rather than recomputing intersections and
+// unions of T graphs. The equivalence with the direct Definition 2.1
+// computation is property-tested against graph.IntersectAll/UnionAll.
+package dyngraph
+
+import (
+	"fmt"
+
+	"dynlocal/internal/graph"
+)
+
+// edgeSpan tracks when an edge was last observed and since when it has been
+// observed in every consecutive round.
+type edgeSpan struct {
+	lastSeen    int
+	streakStart int
+}
+
+// Window incrementally maintains G^∩T_r and G^∪T_r over an observed round
+// sequence. Rounds are 1-based: the first Observe call is round 1 and
+// round 0 is the empty graph G_0 = (∅, ∅) of the model.
+type Window struct {
+	t         int
+	n         int
+	round     int
+	spans     map[graph.EdgeKey]edgeSpan
+	wake      []int // wake[v] = round v woke up, 0 if still asleep
+	lastPurge int
+}
+
+// NewWindow creates a window of size t >= 1 over a node universe of size n.
+func NewWindow(t, n int) *Window {
+	if t < 1 {
+		panic(fmt.Sprintf("dyngraph: window size %d < 1", t))
+	}
+	return &Window{t: t, n: n, spans: make(map[graph.EdgeKey]edgeSpan), wake: make([]int, n)}
+}
+
+// T returns the window size.
+func (w *Window) T() int { return w.t }
+
+// N returns the node-universe size.
+func (w *Window) N() int { return w.n }
+
+// Round returns the last observed round (0 before the first Observe).
+func (w *Window) Round() int { return w.round }
+
+// windowStart returns r0 = max(0, r-T+1) as in Definition 2.1 (the paper's
+// round 0 carries the empty graph G_0 = (∅, ∅); our Observe calls are rounds
+// 1, 2, …). When r0 == 0 the window still contains the empty round 0, so
+// the intersection graph and the core node set are empty until round T,
+// exactly as in the proof of Theorem 1.1 ("If r < T1−1, the graphs G^∩T1_r
+// and G^∪T1_r are both empty as no node has been awake for T1 rounds").
+func (w *Window) windowStart() int {
+	r0 := w.round - w.t + 1
+	if r0 < 0 {
+		r0 = 0
+	}
+	return r0
+}
+
+// Observe advances the window to the next round with communication graph g
+// and the given newly awake nodes. Edges of g incident to nodes that have
+// never been woken are rejected with a panic: the model only allows edges
+// between awake nodes.
+func (w *Window) Observe(g *graph.Graph, wakeNow []graph.NodeID) {
+	if g.N() != w.n {
+		panic("dyngraph: graph node space does not match window")
+	}
+	w.round++
+	r := w.round
+	for _, v := range wakeNow {
+		if w.wake[v] == 0 {
+			w.wake[v] = r
+		}
+	}
+	g.EachEdge(func(u, v graph.NodeID) {
+		if w.wake[u] == 0 || w.wake[v] == 0 {
+			panic(fmt.Sprintf("dyngraph: edge {%d,%d} touches a sleeping node in round %d", u, v, r))
+		}
+		k := graph.MakeEdgeKey(u, v)
+		sp, ok := w.spans[k]
+		if !ok || sp.lastSeen != r-1 {
+			sp.streakStart = r
+		}
+		sp.lastSeen = r
+		w.spans[k] = sp
+	})
+	// Amortized purge of edges that fell out of every possible window.
+	if r-w.lastPurge >= w.t {
+		w.purge()
+		w.lastPurge = r
+	}
+}
+
+func (w *Window) purge() {
+	r0 := w.windowStart()
+	if r0 < 1 {
+		r0 = 1
+	}
+	for k, sp := range w.spans {
+		if sp.lastSeen < r0 {
+			delete(w.spans, k)
+		}
+	}
+}
+
+// AwakeSince reports the round node v woke up, or 0 if asleep.
+func (w *Window) AwakeSince(v graph.NodeID) int { return w.wake[v] }
+
+// CoreNodes returns V^∩T_r: the nodes awake in every round of the current
+// window. Because the paper's round 0 has V_0 = ∅, the set is empty until
+// round T. Sorted ascending.
+func (w *Window) CoreNodes() []graph.NodeID {
+	r0 := w.windowStart()
+	if r0 < 1 {
+		return nil
+	}
+	var out []graph.NodeID
+	for v := 0; v < w.n; v++ {
+		if w.wake[v] != 0 && w.wake[v] <= r0 {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// InCore reports whether v ∈ V^∩T_r.
+func (w *Window) InCore(v graph.NodeID) bool {
+	r0 := w.windowStart()
+	return r0 >= 1 && w.wake[v] != 0 && w.wake[v] <= r0
+}
+
+// InIntersection reports whether {u,v} ∈ E^∩T_r. Empty until round T
+// (the window still contains the paper's empty round 0 before that).
+func (w *Window) InIntersection(u, v graph.NodeID) bool {
+	if u == v || w.round < w.t {
+		return false
+	}
+	sp, ok := w.spans[graph.MakeEdgeKey(u, v)]
+	return ok && sp.lastSeen == w.round && sp.streakStart <= w.windowStart()
+}
+
+// InUnion reports whether {u,v} ∈ E^∪T_r.
+func (w *Window) InUnion(u, v graph.NodeID) bool {
+	if u == v {
+		return false
+	}
+	sp, ok := w.spans[graph.MakeEdgeKey(u, v)]
+	r0 := w.windowStart()
+	if r0 < 1 {
+		r0 = 1
+	}
+	return ok && sp.lastSeen >= r0
+}
+
+// IntersectionGraph materializes G^∩T_r (empty before round T).
+func (w *Window) IntersectionGraph() *graph.Graph {
+	b := graph.NewBuilder(w.n)
+	if w.round < w.t {
+		return b.Graph()
+	}
+	r0 := w.windowStart()
+	for k, sp := range w.spans {
+		if sp.lastSeen == w.round && sp.streakStart <= r0 {
+			b.AddEdgeKey(k)
+		}
+	}
+	return b.Graph()
+}
+
+// UnionGraph materializes G^∪T_r (all edges seen within the window; the
+// covering checker evaluates it on CoreNodes, matching Definition 2.1's
+// vertex set V^∩T_r).
+func (w *Window) UnionGraph() *graph.Graph {
+	b := graph.NewBuilder(w.n)
+	r0 := w.windowStart()
+	if r0 < 1 {
+		r0 = 1
+	}
+	for k, sp := range w.spans {
+		if sp.lastSeen >= r0 {
+			b.AddEdgeKey(k)
+		}
+	}
+	return b.Graph()
+}
+
+// Full reports whether the window spans t observed rounds, i.e. whether
+// guarantees that need a full window are in force.
+func (w *Window) Full() bool { return w.round >= w.t }
+
+// Stats summarizes the current window; used by experiment reporting.
+type Stats struct {
+	Round             int
+	CoreNodes         int
+	IntersectionEdges int
+	UnionEdges        int
+}
+
+// Stats computes the current summary.
+func (w *Window) Stats() Stats {
+	r0 := w.windowStart()
+	full := w.round >= w.t
+	if r0 < 1 {
+		r0 = 1
+	}
+	st := Stats{Round: w.round}
+	for _, sp := range w.spans {
+		if sp.lastSeen >= r0 {
+			st.UnionEdges++
+			if full && sp.lastSeen == w.round && sp.streakStart <= r0 {
+				st.IntersectionEdges++
+			}
+		}
+	}
+	st.CoreNodes = len(w.CoreNodes())
+	return st
+}

@@ -1,0 +1,265 @@
+package dyngraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynlocal/internal/graph"
+	"dynlocal/internal/prf"
+)
+
+func wstream(seed uint64) *prf.Stream {
+	return prf.NewStream(seed, 0, 0, prf.PurposeWorkload)
+}
+
+func allNodes(n int) []graph.NodeID {
+	out := make([]graph.NodeID, n)
+	for i := range out {
+		out[i] = graph.NodeID(i)
+	}
+	return out
+}
+
+// directWindows computes G^∩T and G^∪T from first principles
+// (Definition 2.1) given the full history of graphs (1-based rounds).
+// Round 0 is the empty graph G_0 = (∅, ∅), so for r < T the intersection
+// is empty and the union spans all rounds so far.
+func directWindows(history []*graph.Graph, t int) (inter, union *graph.Graph) {
+	r := len(history)
+	n := history[0].N()
+	r0 := r - t + 1
+	if r0 < 1 {
+		// Window reaches back to the empty round 0.
+		union = graph.UnionAll(history)
+		return graph.Empty(n), union
+	}
+	windowGraphs := history[r0-1 : r]
+	return graph.IntersectAll(windowGraphs), graph.UnionAll(windowGraphs)
+}
+
+func TestWindowMatchesDefinitionDirectly(t *testing.T) {
+	const n = 24
+	const T = 4
+	s := wstream(100)
+	w := NewWindow(T, n)
+	var history []*graph.Graph
+	for round := 1; round <= 20; round++ {
+		g := graph.GNP(n, 0.12, s)
+		var wake []graph.NodeID
+		if round == 1 {
+			wake = allNodes(n)
+		}
+		w.Observe(g, wake)
+		history = append(history, g)
+		wantInter, wantUnion := directWindows(history, T)
+		if got := w.IntersectionGraph(); !got.Equal(wantInter) {
+			t.Fatalf("round %d: intersection mismatch\ngot  %s\nwant %s",
+				round, got.DebugString(), wantInter.DebugString())
+		}
+		if got := w.UnionGraph(); !got.Equal(wantUnion) {
+			t.Fatalf("round %d: union mismatch\ngot  %s\nwant %s",
+				round, got.DebugString(), wantUnion.DebugString())
+		}
+	}
+}
+
+func TestWindowMatchesDefinitionProperty(t *testing.T) {
+	f := func(seed uint16, tRaw, nRaw uint8) bool {
+		T := int(tRaw%7) + 1
+		n := int(nRaw%12) + 4
+		s := wstream(uint64(seed))
+		w := NewWindow(T, n)
+		var history []*graph.Graph
+		for round := 1; round <= 2*T+3; round++ {
+			g := graph.GNP(n, 0.3, s)
+			var wake []graph.NodeID
+			if round == 1 {
+				wake = allNodes(n)
+			}
+			w.Observe(g, wake)
+			history = append(history, g)
+			wantInter, wantUnion := directWindows(history, T)
+			if !w.IntersectionGraph().Equal(wantInter) || !w.UnionGraph().Equal(wantUnion) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowMembershipQueries(t *testing.T) {
+	w := NewWindow(3, 4)
+	e := func(u, v graph.NodeID) *graph.Graph {
+		return graph.FromEdges(4, []graph.EdgeKey{graph.MakeEdgeKey(u, v)})
+	}
+	w.Observe(e(0, 1), allNodes(4))
+	// Round 1 < T: window still contains the empty round 0, so the
+	// intersection is empty while the union already has the edge.
+	if w.InIntersection(0, 1) || !w.InUnion(0, 1) {
+		t.Fatal("round 1 membership wrong")
+	}
+	w.Observe(e(1, 2), nil)
+	// Round 2 < T: intersection still empty.
+	if w.InIntersection(0, 1) || !w.InUnion(0, 1) {
+		t.Fatal("round 2: {0,1} should be union-only")
+	}
+	if w.InIntersection(1, 2) || !w.InUnion(1, 2) {
+		t.Fatal("round 2: {1,2} present 1 of 2 rounds")
+	}
+	w.Observe(e(1, 2), nil)
+	w.Observe(e(1, 2), nil)
+	// Round 4, window = {2,3,4}: {1,2} present in all -> intersection.
+	if !w.InIntersection(1, 2) {
+		t.Fatal("round 4: {1,2} should be in intersection")
+	}
+	if w.InUnion(0, 1) {
+		t.Fatal("round 4: {0,1} expired from union")
+	}
+	if w.InIntersection(2, 2) || w.InUnion(3, 3) {
+		t.Fatal("self loops must never be members")
+	}
+}
+
+func TestWindowStreakBrokenByAbsence(t *testing.T) {
+	w := NewWindow(3, 3)
+	edge := graph.FromEdges(3, []graph.EdgeKey{graph.MakeEdgeKey(0, 1)})
+	empty := graph.Empty(3)
+	w.Observe(edge, allNodes(3))
+	w.Observe(empty, nil)
+	w.Observe(edge, nil)
+	// Present rounds 1 and 3, absent 2: union yes, intersection no.
+	if w.InIntersection(0, 1) {
+		t.Fatal("broken streak still in intersection")
+	}
+	if !w.InUnion(0, 1) {
+		t.Fatal("recently present edge missing from union")
+	}
+	w.Observe(edge, nil)
+	w.Observe(edge, nil)
+	// Rounds 3,4,5 all present: back in intersection.
+	if !w.InIntersection(0, 1) {
+		t.Fatal("restored streak not in intersection")
+	}
+}
+
+func TestWindowWakeTracking(t *testing.T) {
+	const T = 3
+	w := NewWindow(T, 5)
+	empty := graph.Empty(5)
+	w.Observe(empty, []graph.NodeID{0, 1}) // round 1
+	w.Observe(empty, []graph.NodeID{2})    // round 2
+	w.Observe(empty, nil)                  // round 3
+	// r0 = 1: core = nodes awake since round 1.
+	core := w.CoreNodes()
+	if len(core) != 2 || core[0] != 0 || core[1] != 1 {
+		t.Fatalf("core at round 3 = %v", core)
+	}
+	w.Observe(empty, nil) // round 4, r0 = 2
+	if !w.InCore(2) {
+		t.Fatal("node 2 should join core at round 4")
+	}
+	if w.InCore(4) {
+		t.Fatal("never-woken node in core")
+	}
+	if w.AwakeSince(2) != 2 || w.AwakeSince(4) != 0 {
+		t.Fatal("AwakeSince wrong")
+	}
+}
+
+func TestWindowRejectsSleepingEdges(t *testing.T) {
+	w := NewWindow(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for edge touching sleeping node")
+		}
+	}()
+	w.Observe(graph.FromEdges(3, []graph.EdgeKey{graph.MakeEdgeKey(0, 2)}), []graph.NodeID{0, 1})
+}
+
+func TestWindowPurgeKeepsSemantics(t *testing.T) {
+	// Run long enough to trigger several purges and verify no live edge is
+	// lost and stale edges are dropped from the map.
+	const n = 16
+	const T = 3
+	s := wstream(5)
+	w := NewWindow(T, n)
+	var history []*graph.Graph
+	for round := 1; round <= 40; round++ {
+		g := graph.GNP(n, 0.1, s)
+		var wake []graph.NodeID
+		if round == 1 {
+			wake = allNodes(n)
+		}
+		w.Observe(g, wake)
+		history = append(history, g)
+	}
+	wantInter, wantUnion := directWindows(history, T)
+	if !w.IntersectionGraph().Equal(wantInter) {
+		t.Fatal("intersection wrong after purges")
+	}
+	if !w.UnionGraph().Equal(wantUnion) {
+		t.Fatal("union wrong after purges")
+	}
+	if len(w.spans) > 4*wantUnion.M()+4*T {
+		t.Fatalf("span map not purged: %d entries for %d union edges", len(w.spans), wantUnion.M())
+	}
+}
+
+func TestWindowStats(t *testing.T) {
+	w := NewWindow(2, 4)
+	g := graph.FromEdges(4, []graph.EdgeKey{graph.MakeEdgeKey(0, 1), graph.MakeEdgeKey(2, 3)})
+	w.Observe(g, allNodes(4))
+	w.Observe(graph.FromEdges(4, []graph.EdgeKey{graph.MakeEdgeKey(0, 1)}), nil)
+	st := w.Stats()
+	if st.Round != 2 || st.UnionEdges != 2 || st.IntersectionEdges != 1 || st.CoreNodes != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !w.Full() {
+		t.Fatal("window should be full after T rounds")
+	}
+}
+
+func TestNewWindowValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for T=0")
+		}
+	}()
+	NewWindow(0, 5)
+}
+
+func BenchmarkWindowObserve(b *testing.B) {
+	const n = 2048
+	s := wstream(1)
+	graphs := make([]*graph.Graph, 8)
+	for i := range graphs {
+		graphs[i] = graph.GNP(n, 4.0/n, s)
+	}
+	w := NewWindow(12, n)
+	w.Observe(graphs[0], allNodes(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Observe(graphs[i%len(graphs)], nil)
+	}
+}
+
+func BenchmarkWindowMaterialize(b *testing.B) {
+	const n = 2048
+	s := wstream(2)
+	w := NewWindow(12, n)
+	for round := 0; round < 24; round++ {
+		var wake []graph.NodeID
+		if round == 0 {
+			wake = allNodes(n)
+		}
+		w.Observe(graph.GNP(n, 4.0/n, s), wake)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.IntersectionGraph()
+		_ = w.UnionGraph()
+	}
+}

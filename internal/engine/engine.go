@@ -1,0 +1,328 @@
+// Package engine is the round-synchronous dynamic-network simulator
+// implementing the model of Section 2. Each round:
+//
+//  1. the adversary provides the communication graph G_r and may wake
+//     additional nodes (V_{r-1} ⊆ V_r);
+//  2. every awake node broadcasts one batch of sub-messages to all of its
+//     current neighbors ("local broadcast"), then processes its inbox and
+//     performs local computation — a node learns its round degree only
+//     together with its inbox, matching "a node does not know its degree
+//     in G_r at the beginning of round r";
+//  3. every node's output is collected and handed to observers (checkers,
+//     metrics) and — subject to the configured obliviousness lag — to the
+//     adversary.
+//
+// The two communication phases are parallelized over node shards with a
+// barrier between them; all randomness is drawn from prf streams keyed by
+// (seed, node, round, purpose), so results are bit-identical for any
+// worker count.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+
+	"dynlocal/internal/adversary"
+	"dynlocal/internal/graph"
+	"dynlocal/internal/prf"
+	"dynlocal/internal/problems"
+)
+
+// SubMsg is one sub-message of a node's per-round broadcast. Chan is a
+// logical channel id used by the combiner to multiplex concurrently
+// running algorithm instances (0 for standalone algorithms); Kind and the
+// two payload words are algorithm-defined.
+type SubMsg struct {
+	Chan int32
+	Kind uint8
+	A, B int64
+}
+
+// Incoming is a received sub-message together with its sender.
+type Incoming struct {
+	From graph.NodeID
+	M    SubMsg
+}
+
+// Ctx carries per-(node, round) context into algorithm callbacks.
+// Algorithms must treat Round as opaque randomness-derivation state — the
+// model gives nodes no common round counter; local age must be tracked by
+// the algorithm itself.
+type Ctx struct {
+	Node        graph.NodeID
+	Round       int
+	Seed        uint64
+	PurposeBase prf.Purpose
+}
+
+// Stream returns the node's random stream for this round and purpose.
+func (c *Ctx) Stream(p prf.Purpose) prf.Stream {
+	return prf.Make(c.Seed, c.Node, c.Round, c.PurposeBase+p)
+}
+
+// NodeProc is the per-node state machine of a distributed algorithm.
+type NodeProc interface {
+	// Start is invoked once, in the node's wake-up round, before its
+	// first Broadcast, with the node's input value (Bot if none).
+	Start(ctx *Ctx, input problems.Value)
+	// Broadcast appends the node's sub-messages for this round to buf and
+	// returns it. Returning an empty slice means the node stays silent.
+	Broadcast(ctx *Ctx, buf []SubMsg) []SubMsg
+	// Process handles the inbox (all sub-messages broadcast by current
+	// neighbors this round) and the node's degree in G_r.
+	Process(ctx *Ctx, in []Incoming, deg int)
+	// Output returns the node's current output (Bot for ⊥).
+	Output() problems.Value
+}
+
+// Algorithm creates per-node processes.
+type Algorithm interface {
+	Name() string
+	NewNode(v graph.NodeID) NodeProc
+}
+
+// BitSizer is optionally implemented by algorithms that declare the
+// encoded size of their messages; the engine then accounts message bits
+// per round (experiment E12, the poly log n message-size remark).
+type BitSizer interface {
+	MessageBits(m SubMsg) int
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	// N is the size of the potential-node universe (the paper's n, known
+	// to all nodes).
+	N int
+	// Seed keys all randomness.
+	Seed uint64
+	// Workers is the parallelism degree; 0 means GOMAXPROCS.
+	Workers int
+	// OutputLag is the adversary's obliviousness lag ρ: when constructing
+	// G_r the adversary sees outputs through round r-ρ. 0 means the
+	// default of 2 (the 2-oblivious adversary DMis needs); 1 is a fully
+	// adaptive online adversary.
+	OutputLag int
+	// Input provides per-node input values (nil = all Bot).
+	Input []problems.Value
+}
+
+// RoundInfo is the observer view of a completed round.
+type RoundInfo struct {
+	Round    int
+	Graph    *graph.Graph
+	Wake     []graph.NodeID
+	Outputs  []problems.Value // snapshot at end of round; do not modify
+	Messages int              // sub-messages delivered
+	Bits     int64            // declared encoded bits (0 if no BitSizer)
+}
+
+// Engine drives one simulation.
+type Engine struct {
+	cfg   Config
+	adv   adversary.Adversary
+	algo  Algorithm
+	sizer BitSizer
+
+	round    int
+	curGraph *graph.Graph
+	states   []NodeProc
+	awake    []bool
+	wakeRnd  []int
+	outbox   [][]SubMsg
+	inbox    [][]Incoming
+	snaps    [][]problems.Value // ring of output snapshots
+	lag      int
+	workers  int
+
+	observers []func(*RoundInfo)
+}
+
+// New creates an engine. It panics on invalid configuration.
+func New(cfg Config, adv adversary.Adversary, algo Algorithm) *Engine {
+	if cfg.N <= 0 {
+		panic("engine: N must be positive")
+	}
+	if cfg.Input != nil && len(cfg.Input) != cfg.N {
+		panic("engine: input length does not match N")
+	}
+	lag := cfg.OutputLag
+	if lag == 0 {
+		lag = 2
+	}
+	if lag < 1 {
+		panic("engine: OutputLag must be >= 1 (1 = fully adaptive online)")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		cfg:      cfg,
+		adv:      adv,
+		algo:     algo,
+		round:    0,
+		curGraph: graph.Empty(cfg.N),
+		states:   make([]NodeProc, cfg.N),
+		awake:    make([]bool, cfg.N),
+		wakeRnd:  make([]int, cfg.N),
+		outbox:   make([][]SubMsg, cfg.N),
+		inbox:    make([][]Incoming, cfg.N),
+		snaps:    make([][]problems.Value, lag+1),
+		lag:      lag,
+		workers:  workers,
+	}
+	if s, ok := algo.(BitSizer); ok {
+		e.sizer = s
+	}
+	return e
+}
+
+// Round returns the number of completed rounds.
+func (e *Engine) Round() int { return e.round }
+
+// N returns the node-universe size.
+func (e *Engine) N() int { return e.cfg.N }
+
+// Seed returns the PRF seed (used to construct clairvoyant adversaries).
+func (e *Engine) Seed() uint64 { return e.cfg.Seed }
+
+// Awake reports whether v has woken up.
+func (e *Engine) Awake(v graph.NodeID) bool { return e.awake[v] }
+
+// OnRound registers an observer invoked after every completed round.
+func (e *Engine) OnRound(fn func(*RoundInfo)) { e.observers = append(e.observers, fn) }
+
+// view adapts the engine to adversary.View for the round being built.
+type view struct {
+	e *Engine
+	r int
+}
+
+func (v view) Round() int                 { return v.r }
+func (v view) N() int                     { return v.e.cfg.N }
+func (v view) PrevGraph() *graph.Graph    { return v.e.curGraph }
+func (v view) Awake(id graph.NodeID) bool { return v.e.awake[id] }
+func (v view) DelayedOutputs() []problems.Value {
+	seen := v.r - v.e.lag
+	if seen < 1 {
+		return nil
+	}
+	return v.e.snaps[seen%len(v.e.snaps)]
+}
+
+// Step plays one round and returns its info. The returned info (graph,
+// outputs) is immutable and safe to retain.
+func (e *Engine) Step() *RoundInfo {
+	r := e.round + 1
+	st := e.adv.Step(view{e: e, r: r})
+	if st.G == nil || st.G.N() != e.cfg.N {
+		panic("engine: adversary returned graph with wrong node space")
+	}
+
+	// Wake phase.
+	for _, v := range st.Wake {
+		if e.awake[v] {
+			continue
+		}
+		e.awake[v] = true
+		e.wakeRnd[v] = r
+		e.states[v] = e.algo.NewNode(v)
+		ctx := Ctx{Node: v, Round: r, Seed: e.cfg.Seed}
+		input := problems.Bot
+		if e.cfg.Input != nil {
+			input = e.cfg.Input[v]
+		}
+		e.states[v].Start(&ctx, input)
+	}
+	// Model invariant: edges only between awake nodes.
+	st.G.EachEdge(func(u, v graph.NodeID) {
+		if !e.awake[u] || !e.awake[v] {
+			panic(fmt.Sprintf("engine: round %d edge {%d,%d} touches sleeping node", r, u, v))
+		}
+	})
+
+	g := st.G
+
+	// Phase 1: broadcast.
+	e.parallelNodes(func(v graph.NodeID) {
+		ctx := Ctx{Node: v, Round: r, Seed: e.cfg.Seed}
+		e.outbox[v] = e.states[v].Broadcast(&ctx, e.outbox[v][:0])
+	})
+
+	// Phase 2: deliver and process.
+	var totalMsgs int
+	var totalBits int64
+	e.parallelNodes(func(v graph.NodeID) {
+		in := e.inbox[v][:0]
+		for _, u := range g.Neighbors(v) {
+			for _, m := range e.outbox[u] {
+				in = append(in, Incoming{From: u, M: m})
+			}
+		}
+		e.inbox[v] = in
+		ctx := Ctx{Node: v, Round: r, Seed: e.cfg.Seed}
+		e.states[v].Process(&ctx, in, g.Degree(v))
+	})
+	for v := 0; v < e.cfg.N; v++ {
+		if !e.awake[v] {
+			continue
+		}
+		totalMsgs += len(e.inbox[v])
+		if e.sizer != nil {
+			for _, in := range e.inbox[v] {
+				totalBits += int64(e.sizer.MessageBits(in.M))
+			}
+		}
+	}
+
+	// Snapshot outputs.
+	snap := make([]problems.Value, e.cfg.N)
+	for v := 0; v < e.cfg.N; v++ {
+		if e.awake[v] {
+			snap[v] = e.states[v].Output()
+		}
+	}
+	e.snaps[r%len(e.snaps)] = snap
+	e.curGraph = g
+	e.round = r
+
+	info := &RoundInfo{
+		Round: r, Graph: g, Wake: st.Wake, Outputs: snap,
+		Messages: totalMsgs, Bits: totalBits,
+	}
+	for _, fn := range e.observers {
+		fn(info)
+	}
+	return info
+}
+
+// Run plays the given number of rounds and returns the last round's info
+// (nil if rounds <= 0).
+func (e *Engine) Run(rounds int) *RoundInfo {
+	var last *RoundInfo
+	for i := 0; i < rounds; i++ {
+		last = e.Step()
+	}
+	return last
+}
+
+// RunUntil plays rounds until pred returns true or maxRounds is reached.
+// It returns the round at which pred first held and true, or maxRounds
+// and false.
+func (e *Engine) RunUntil(maxRounds int, pred func(*RoundInfo) bool) (int, bool) {
+	for i := 0; i < maxRounds; i++ {
+		info := e.Step()
+		if pred(info) {
+			return info.Round, true
+		}
+	}
+	return maxRounds, false
+}
+
+// Outputs returns the latest output snapshot (nil before round 1).
+func (e *Engine) Outputs() []problems.Value {
+	if e.round == 0 {
+		return nil
+	}
+	return e.snaps[e.round%len(e.snaps)]
+}

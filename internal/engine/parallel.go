@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"sync"
+
+	"dynlocal/internal/graph"
+)
+
+// serialThreshold is the node count below which sharding overhead exceeds
+// the benefit and phases run on the calling goroutine.
+const serialThreshold = 512
+
+// parallelNodes applies fn to every awake node, sharded across the
+// engine's workers with an implicit barrier on return. fn must only touch
+// state owned by its node (plus read-only shared state), which all engine
+// phases guarantee.
+func (e *Engine) parallelNodes(fn func(v graph.NodeID)) {
+	n := e.cfg.N
+	if e.workers <= 1 || n < serialThreshold {
+		for v := 0; v < n; v++ {
+			if e.awake[v] {
+				fn(graph.NodeID(v))
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + e.workers - 1) / e.workers
+	for w := 0; w < e.workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				if e.awake[v] {
+					fn(graph.NodeID(v))
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"dynlocal/internal/adversary"
+	"dynlocal/internal/algos/mis"
+	"dynlocal/internal/engine"
+	"dynlocal/internal/graph"
+)
+
+// ScalingResult is one cell of E15: engine throughput.
+type ScalingResult struct {
+	N             int
+	Workers       int
+	Rounds        int
+	Seconds       float64
+	RoundsPerSec  float64
+	NodeRoundsSec float64
+}
+
+// E15EngineScaling measures rounds/second of the combined MIS algorithm
+// for an n sweep at 1 worker and at GOMAXPROCS workers.
+func E15EngineScaling(p Params) []ScalingResult {
+	seed := p.seed()
+	ns := []int{1024, 4096, 16384}
+	rounds := 40
+	if p.Quick {
+		ns = []int{1024, 4096}
+		rounds = 15
+	}
+	var out []ScalingResult
+	for _, n := range ns {
+		base := graph.GNP(n, 8.0/float64(n), workloadStream(seed+uint64(n)))
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			adv := &adversary.Churn{Base: base, Add: n / 64, Del: n / 64, Seed: seed + 1}
+			e := engine.New(engine.Config{N: n, Seed: seed + 2, Workers: workers}, adv, mis.NewMIS(n))
+			startT := time.Now()
+			e.Run(rounds)
+			dur := time.Since(startT).Seconds()
+			res := ScalingResult{N: n, Workers: workers, Rounds: rounds, Seconds: dur}
+			if dur > 0 {
+				res.RoundsPerSec = float64(rounds) / dur
+				res.NodeRoundsSec = float64(rounds) * float64(n) / dur
+			}
+			out = append(out, res)
+		}
+	}
+	return out
+}

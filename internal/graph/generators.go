@@ -1,0 +1,228 @@
+package graph
+
+import (
+	"math"
+
+	"dynlocal/internal/prf"
+)
+
+// Generators build the synthetic workload graphs used by the experiments.
+// All of them draw randomness from a prf.Stream so workloads are
+// reproducible and independent of algorithm randomness.
+
+// GNP returns an Erdős–Rényi G(n, p) graph.
+func GNP(n int, p float64, s *prf.Stream) *Graph {
+	b := NewBuilder(n)
+	if p <= 0 {
+		return b.Graph()
+	}
+	if p >= 1 {
+		return Complete(n)
+	}
+	// Geometric skipping over the n(n-1)/2 potential edges: O(m) draws.
+	logq := math.Log(1 - p)
+	total := int64(n) * int64(n-1) / 2
+	idx := int64(-1)
+	for {
+		u := s.Float64()
+		if u >= 1 {
+			u = math.Nextafter(1, 0)
+		}
+		skip := int64(math.Floor(math.Log(1-u) / logq))
+		idx += 1 + skip
+		if idx >= total {
+			break
+		}
+		u32, v32 := edgeFromIndex(idx, n)
+		b.AddEdge(u32, v32)
+	}
+	return b.Graph()
+}
+
+// edgeFromIndex maps a linear index in [0, n(n-1)/2) to the edge (u, v)
+// with u < v in row-major order of the strict upper triangle.
+func edgeFromIndex(idx int64, n int) (NodeID, NodeID) {
+	// Row u owns (n-1-u) edges. Find u by solving the prefix sum.
+	u := int64(0)
+	remaining := idx
+	rowLen := int64(n - 1)
+	for remaining >= rowLen {
+		remaining -= rowLen
+		u++
+		rowLen--
+	}
+	v := u + 1 + remaining
+	return NodeID(u), NodeID(v)
+}
+
+// GNM returns a uniform graph with exactly m distinct edges (m capped at
+// the maximum possible).
+func GNM(n, m int, s *prf.Stream) *Graph {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		m = maxM
+	}
+	b := NewBuilder(n)
+	for b.M() < m {
+		u := NodeID(s.Intn(n))
+		v := NodeID(s.Intn(n))
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Graph()
+}
+
+// Complete returns K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(NodeID(u), NodeID(v))
+		}
+	}
+	return b.Graph()
+}
+
+// Cycle returns C_n (n >= 3); for n < 3 it returns a path.
+func Cycle(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	if n >= 3 {
+		b.AddEdge(NodeID(n-1), 0)
+	}
+	return b.Graph()
+}
+
+// Path returns P_n.
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	return b.Graph()
+}
+
+// Grid returns the rows×cols king-free (4-neighbor) grid graph on
+// rows*cols nodes in row-major order.
+func Grid(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// CompleteBipartite returns K_{a,b} on a+b nodes (left ids first).
+func CompleteBipartite(a, b int) *Graph {
+	bld := NewBuilder(a + b)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			bld.AddEdge(NodeID(u), NodeID(a+v))
+		}
+	}
+	return bld.Graph()
+}
+
+// Star returns K_{1,n-1} with node 0 as the center.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, NodeID(v))
+	}
+	return b.Graph()
+}
+
+// RandomTree returns a uniform random recursive tree on n nodes: node i
+// attaches to a uniformly random earlier node.
+func RandomTree(n int, s *prf.Stream) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(NodeID(s.Intn(v)), NodeID(v))
+	}
+	return b.Graph()
+}
+
+// Caterpillar returns a path of spineLen nodes with legsPerSpine leaf
+// nodes hanging off each spine node — a worst case for greedy coloring
+// palettes and a classic MIS stress shape.
+func Caterpillar(spineLen, legsPerSpine int) *Graph {
+	n := spineLen * (1 + legsPerSpine)
+	b := NewBuilder(n)
+	for i := 0; i+1 < spineLen; i++ {
+		b.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	leg := spineLen
+	for i := 0; i < spineLen; i++ {
+		for j := 0; j < legsPerSpine; j++ {
+			b.AddEdge(NodeID(i), NodeID(leg))
+			leg++
+		}
+	}
+	return b.Graph()
+}
+
+// Point is a 2-D coordinate in the unit square, used by the geometric
+// generator and the mobility example.
+type Point struct{ X, Y float64 }
+
+// RandomPoints draws n uniform points in the unit square.
+func RandomPoints(n int, s *prf.Stream) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: s.Float64(), Y: s.Float64()}
+	}
+	return pts
+}
+
+// Geometric returns the unit-disk graph connecting points at Euclidean
+// distance <= radius. Uses a uniform grid bucket index so construction is
+// near-linear for constant expected degree.
+func Geometric(pts []Point, radius float64) *Graph {
+	n := len(pts)
+	b := NewBuilder(n)
+	if radius <= 0 {
+		return b.Graph()
+	}
+	cell := radius
+	cols := int(1/cell) + 1
+	bucket := make(map[int][]NodeID)
+	key := func(p Point) int {
+		cx := int(p.X / cell)
+		cy := int(p.Y / cell)
+		return cy*cols + cx
+	}
+	for i, p := range pts {
+		bucket[key(p)] = append(bucket[key(p)], NodeID(i))
+	}
+	r2 := radius * radius
+	for i, p := range pts {
+		cx := int(p.X / cell)
+		cy := int(p.Y / cell)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				for _, j := range bucket[(cy+dy)*cols+(cx+dx)] {
+					if j <= NodeID(i) {
+						continue
+					}
+					q := pts[j]
+					ddx, ddy := p.X-q.X, p.Y-q.Y
+					if ddx*ddx+ddy*ddy <= r2 {
+						b.AddEdge(NodeID(i), j)
+					}
+				}
+			}
+		}
+	}
+	return b.Graph()
+}

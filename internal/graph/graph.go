@@ -1,0 +1,270 @@
+// Package graph provides the static-graph substrate for the dynamic-network
+// simulator: an immutable adjacency-list graph over a fixed node-id space,
+// a mutable builder, set operations (union, intersection, difference),
+// induced subgraphs, α-neighborhood balls with fingerprints for
+// locally-static detection, and the synthetic workload generators used by
+// the experiments.
+//
+// All graphs in this repository are simple and undirected, matching
+// Definition 2.2 of the paper. Node ids are dense int32 values in [0, N)
+// where N is the size of the potential-node universe V; a round graph G_r
+// may touch only a subset of those ids (the awake nodes), which the engine
+// tracks separately.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node in the potential-node universe V.
+type NodeID = int32
+
+// EdgeKey packs an undirected edge {u, v} with u < v into one comparable
+// 64-bit value, used as a map key by builders, sliding windows and
+// adversaries.
+type EdgeKey uint64
+
+// MakeEdgeKey builds the canonical key for the undirected edge {u, v}.
+// It panics if u == v (self-loops are not part of the model).
+func MakeEdgeKey(u, v NodeID) EdgeKey {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at node %d", u))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	return EdgeKey(uint64(uint32(u))<<32 | uint64(uint32(v)))
+}
+
+// Nodes unpacks the edge endpoints with u < v.
+func (k EdgeKey) Nodes() (u, v NodeID) {
+	return NodeID(uint32(k >> 32)), NodeID(uint32(k))
+}
+
+// String renders the edge as "{u,v}".
+func (k EdgeKey) String() string {
+	u, v := k.Nodes()
+	return fmt.Sprintf("{%d,%d}", u, v)
+}
+
+// Graph is an immutable simple undirected graph with sorted adjacency
+// lists over the node-id space [0, N()).
+type Graph struct {
+	n   int
+	adj [][]NodeID
+	m   int
+}
+
+// Empty returns the edgeless graph on n node slots.
+func Empty(n int) *Graph {
+	return &Graph{n: n, adj: make([][]NodeID, n)}
+}
+
+// FromEdges builds a graph on n node slots from an edge list. Duplicate
+// edges are collapsed; it panics on out-of-range endpoints or self-loops.
+func FromEdges(n int, edges []EdgeKey) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		u, v := e.Nodes()
+		b.AddEdge(u, v)
+	}
+	return b.Graph()
+}
+
+// N returns the size of the node-id space.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum degree over all nodes (0 for edgeless).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, a := range g.adj {
+		if len(a) > max {
+			max = len(a)
+		}
+	}
+	return max
+}
+
+// Neighbors returns the sorted adjacency list of v. The returned slice is
+// shared with the graph and must not be modified.
+func (g *Graph) Neighbors(v NodeID) []NodeID { return g.adj[v] }
+
+// HasEdge reports whether {u, v} is an edge; binary search over the sorted
+// adjacency list of the lower-degree endpoint.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if u == v {
+		return false
+	}
+	a, target := g.adj[u], v
+	if len(g.adj[v]) < len(a) {
+		a, target = g.adj[v], u
+	}
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= target })
+	return i < len(a) && a[i] == target
+}
+
+// Edges returns all edges in canonical (sorted) key order.
+func (g *Graph) Edges() []EdgeKey {
+	out := make([]EdgeKey, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if NodeID(u) < v {
+				out = append(out, MakeEdgeKey(NodeID(u), v))
+			}
+		}
+	}
+	return out
+}
+
+// EachEdge calls fn for every edge with u < v.
+func (g *Graph) EachEdge(fn func(u, v NodeID)) {
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if NodeID(u) < v {
+				fn(NodeID(u), v)
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	adj := make([][]NodeID, g.n)
+	for i, a := range g.adj {
+		if len(a) > 0 {
+			adj[i] = append([]NodeID(nil), a...)
+		}
+	}
+	return &Graph{n: g.n, adj: adj, m: g.m}
+}
+
+// Equal reports whether g and h have identical node spaces and edge sets.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.n != h.n || g.m != h.m {
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		a, b := g.adj[u], h.adj[u]
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders a compact description, e.g. "G(n=5, m=4)".
+func (g *Graph) String() string {
+	return fmt.Sprintf("G(n=%d, m=%d)", g.n, g.m)
+}
+
+// DebugString renders the full adjacency structure, one node per line.
+// Intended for test failure output on small graphs.
+func (g *Graph) DebugString() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph n=%d m=%d\n", g.n, g.m)
+	for u := 0; u < g.n; u++ {
+		if len(g.adj[u]) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %d:", u)
+		for _, v := range g.adj[u] {
+			fmt.Fprintf(&sb, " %d", v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder struct {
+	n     int
+	edges map[EdgeKey]struct{}
+}
+
+// NewBuilder returns a builder for a graph on n node slots.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, edges: make(map[EdgeKey]struct{})}
+}
+
+// N returns the node-space size of the builder.
+func (b *Builder) N() int { return b.n }
+
+// AddEdge inserts the undirected edge {u, v}; duplicates are ignored.
+// It panics on out-of-range endpoints or self-loops.
+func (b *Builder) AddEdge(u, v NodeID) {
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n))
+	}
+	b.edges[MakeEdgeKey(u, v)] = struct{}{}
+}
+
+// AddEdgeKey inserts an edge by key.
+func (b *Builder) AddEdgeKey(k EdgeKey) {
+	u, v := k.Nodes()
+	b.AddEdge(u, v)
+}
+
+// RemoveEdge deletes the edge {u, v} if present.
+func (b *Builder) RemoveEdge(u, v NodeID) {
+	delete(b.edges, MakeEdgeKey(u, v))
+}
+
+// HasEdge reports whether the builder currently contains {u, v}.
+func (b *Builder) HasEdge(u, v NodeID) bool {
+	if u == v {
+		return false
+	}
+	_, ok := b.edges[MakeEdgeKey(u, v)]
+	return ok
+}
+
+// M returns the current number of edges.
+func (b *Builder) M() int { return len(b.edges) }
+
+// EdgeKeys returns the current edge set in unspecified order.
+func (b *Builder) EdgeKeys() []EdgeKey {
+	out := make([]EdgeKey, 0, len(b.edges))
+	for k := range b.edges {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Graph freezes the builder into an immutable Graph. The builder remains
+// usable afterwards (subsequent mutations do not affect the built graph).
+func (b *Builder) Graph() *Graph {
+	deg := make([]int, b.n)
+	for k := range b.edges {
+		u, v := k.Nodes()
+		deg[u]++
+		deg[v]++
+	}
+	adj := make([][]NodeID, b.n)
+	for i, d := range deg {
+		if d > 0 {
+			adj[i] = make([]NodeID, 0, d)
+		}
+	}
+	for k := range b.edges {
+		u, v := k.Nodes()
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	for _, a := range adj {
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	}
+	return &Graph{n: b.n, adj: adj, m: len(b.edges)}
+}

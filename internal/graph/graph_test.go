@@ -1,0 +1,338 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynlocal/internal/prf"
+)
+
+func stream(seed uint64) *prf.Stream {
+	return prf.NewStream(seed, 0, 0, prf.PurposeWorkload)
+}
+
+func TestMakeEdgeKeyCanonical(t *testing.T) {
+	if MakeEdgeKey(3, 7) != MakeEdgeKey(7, 3) {
+		t.Fatal("edge key not canonical under endpoint swap")
+	}
+	u, v := MakeEdgeKey(7, 3).Nodes()
+	if u != 3 || v != 7 {
+		t.Fatalf("Nodes() = (%d,%d), want (3,7)", u, v)
+	}
+}
+
+func TestMakeEdgeKeySelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on self-loop")
+		}
+	}()
+	MakeEdgeKey(4, 4)
+}
+
+func TestEdgeKeyRoundTrip(t *testing.T) {
+	f := func(a, b int16) bool {
+		u, v := NodeID(a&0x7fff), NodeID(b&0x7fff)
+		if u == v {
+			return true
+		}
+		x, y := MakeEdgeKey(u, v).Nodes()
+		lo, hi := u, v
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return x == lo && y == hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // duplicate under swap
+	b.AddEdge(2, 3)
+	if b.M() != 2 {
+		t.Fatalf("M() = %d, want 2", b.M())
+	}
+	b.RemoveEdge(3, 2)
+	if b.M() != 1 || b.HasEdge(2, 3) {
+		t.Fatal("RemoveEdge failed")
+	}
+	g := b.Graph()
+	if g.M() != 1 || !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("built graph wrong")
+	}
+	if g.HasEdge(0, 0) {
+		t.Fatal("self loop reported present")
+	}
+	// Mutating the builder afterwards must not affect the built graph.
+	b.AddEdge(3, 4)
+	if g.M() != 1 {
+		t.Fatal("built graph changed after builder mutation")
+	}
+}
+
+func TestBuilderOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range edge")
+		}
+	}()
+	NewBuilder(3).AddEdge(0, 3)
+}
+
+func TestGraphDegreesAndNeighborsSorted(t *testing.T) {
+	b := NewBuilder(6)
+	b.AddEdge(2, 5)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 4)
+	g := b.Graph()
+	if g.Degree(2) != 3 {
+		t.Fatalf("Degree(2) = %d", g.Degree(2))
+	}
+	nb := g.Neighbors(2)
+	want := []NodeID{0, 4, 5}
+	for i, v := range want {
+		if nb[i] != v {
+			t.Fatalf("Neighbors(2) = %v, want %v", nb, want)
+		}
+	}
+	if g.MaxDegree() != 3 {
+		t.Fatalf("MaxDegree = %d", g.MaxDegree())
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := GNP(40, 0.2, stream(1))
+	h := FromEdges(g.N(), g.Edges())
+	if !g.Equal(h) {
+		t.Fatal("Edges()/FromEdges round trip failed")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := GNP(20, 0.3, stream(2))
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.adj[0] = append(c.adj[0], 19)
+	// Original must be untouched (compare via fresh clone of g's state).
+	if len(g.adj[0]) == len(c.adj[0]) {
+		t.Fatal("clone shares adjacency storage")
+	}
+}
+
+func TestEqualDetectsDifference(t *testing.T) {
+	a := Cycle(5)
+	b := Path(5)
+	if a.Equal(b) {
+		t.Fatal("cycle equal to path")
+	}
+	if !a.Equal(Cycle(5)) {
+		t.Fatal("cycle not equal to itself")
+	}
+	if a.Equal(Cycle(6)) {
+		t.Fatal("different n reported equal")
+	}
+}
+
+func TestUnionIntersectionDifference(t *testing.T) {
+	a := FromEdges(5, []EdgeKey{MakeEdgeKey(0, 1), MakeEdgeKey(1, 2)})
+	b := FromEdges(5, []EdgeKey{MakeEdgeKey(1, 2), MakeEdgeKey(3, 4)})
+	u := Union(a, b)
+	if u.M() != 3 || !u.HasEdge(0, 1) || !u.HasEdge(1, 2) || !u.HasEdge(3, 4) {
+		t.Fatalf("union wrong: %s", u.DebugString())
+	}
+	i := Intersection(a, b)
+	if i.M() != 1 || !i.HasEdge(1, 2) {
+		t.Fatalf("intersection wrong: %s", i.DebugString())
+	}
+	d := Difference(a, b)
+	if d.M() != 1 || !d.HasEdge(0, 1) {
+		t.Fatalf("difference wrong: %s", d.DebugString())
+	}
+}
+
+func TestSetOpsAlgebraProperties(t *testing.T) {
+	s := stream(3)
+	f := func(seedA, seedB uint16) bool {
+		_ = seedA
+		_ = seedB
+		a := GNP(25, 0.15, s)
+		b := GNP(25, 0.15, s)
+		// Intersection ⊆ a, b ⊆ Union.
+		i := Intersection(a, b)
+		u := Union(a, b)
+		ok := true
+		i.EachEdge(func(x, y NodeID) {
+			if !a.HasEdge(x, y) || !b.HasEdge(x, y) {
+				ok = false
+			}
+		})
+		a.EachEdge(func(x, y NodeID) {
+			if !u.HasEdge(x, y) {
+				ok = false
+			}
+		})
+		// |A∪B| = |A| + |B| - |A∩B|
+		if u.M() != a.M()+b.M()-i.M() {
+			ok = false
+		}
+		// A \ B disjoint from B.
+		Difference(a, b).EachEdge(func(x, y NodeID) {
+			if b.HasEdge(x, y) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectAllUnionAll(t *testing.T) {
+	gs := []*Graph{
+		FromEdges(4, []EdgeKey{MakeEdgeKey(0, 1), MakeEdgeKey(1, 2)}),
+		FromEdges(4, []EdgeKey{MakeEdgeKey(0, 1), MakeEdgeKey(2, 3)}),
+		FromEdges(4, []EdgeKey{MakeEdgeKey(0, 1)}),
+	}
+	i := IntersectAll(gs)
+	if i.M() != 1 || !i.HasEdge(0, 1) {
+		t.Fatalf("IntersectAll wrong: %v", i.Edges())
+	}
+	u := UnionAll(gs)
+	if u.M() != 3 {
+		t.Fatalf("UnionAll wrong: %v", u.Edges())
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Complete(5)
+	sub := InducedSubgraph(g, []NodeID{0, 1, 2})
+	if sub.M() != 3 {
+		t.Fatalf("induced K3 has %d edges", sub.M())
+	}
+	if sub.HasEdge(3, 4) {
+		t.Fatal("induced subgraph kept excluded edge")
+	}
+}
+
+func TestBallRadii(t *testing.T) {
+	g := Path(7) // 0-1-2-3-4-5-6
+	cases := []struct {
+		r    int
+		want []NodeID
+	}{
+		{0, []NodeID{3}},
+		{1, []NodeID{2, 3, 4}},
+		{2, []NodeID{1, 2, 3, 4, 5}},
+		{10, []NodeID{0, 1, 2, 3, 4, 5, 6}},
+	}
+	for _, c := range cases {
+		got := Ball(g, 3, c.r)
+		if len(got) != len(c.want) {
+			t.Fatalf("Ball r=%d = %v, want %v", c.r, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Ball r=%d = %v, want %v", c.r, got, c.want)
+			}
+		}
+	}
+}
+
+func TestBallFingerprintSensitivity(t *testing.T) {
+	g := Path(7)
+	fp := BallFingerprint(g, 3, 2)
+	// Change inside the 2-ball: must differ.
+	b := NewBuilder(7)
+	g.EachEdge(b.AddEdge)
+	b.AddEdge(2, 4)
+	if BallFingerprint(b.Graph(), 3, 2) == fp {
+		t.Fatal("fingerprint insensitive to in-ball change")
+	}
+	// Change outside the 2-ball (edge {5,6} is at distance >2 from 3's
+	// 2-ball interior edges? node 5 IS in the 2-ball, so use {0,6}).
+	b2 := NewBuilder(7)
+	g.EachEdge(b2.AddEdge)
+	b2.AddEdge(0, 6)
+	if BallFingerprint(b2.Graph(), 3, 2) != fp {
+		t.Fatal("fingerprint sensitive to out-of-ball change")
+	}
+}
+
+func TestBallStatic(t *testing.T) {
+	g := Path(7)
+	b := NewBuilder(7)
+	g.EachEdge(b.AddEdge)
+	b.AddEdge(0, 6) // outside 2-ball of node 3 (members 1..5, edge 0-6 not induced)
+	h := b.Graph()
+	if !BallStatic(g, h, 3, 2) {
+		t.Fatal("out-of-ball change flagged as non-static")
+	}
+	b.AddEdge(2, 4) // inside
+	if BallStatic(g, b.Graph(), 3, 2) {
+		t.Fatal("in-ball change not detected")
+	}
+	// Membership change: connect 6 to 4 puts 6 within distance 2 of 3.
+	b3 := NewBuilder(7)
+	g.EachEdge(b3.AddEdge)
+	b3.AddEdge(4, 6)
+	if BallStatic(g, b3.Graph(), 3, 2) {
+		t.Fatal("membership change not detected")
+	}
+}
+
+func TestBallFingerprintMatchesBallStatic(t *testing.T) {
+	s := stream(11)
+	for trial := 0; trial < 25; trial++ {
+		a := GNP(30, 0.1, s)
+		b := GNP(30, 0.1, s)
+		for v := NodeID(0); v < 30; v++ {
+			stat := BallStatic(a, b, v, 2)
+			fpEq := BallFingerprint(a, v, 2) == BallFingerprint(b, v, 2)
+			if stat != fpEq {
+				t.Fatalf("trial %d node %d: BallStatic=%v fingerprintEq=%v", trial, v, stat, fpEq)
+			}
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(4, 5)
+	g := b.Graph()
+	label, count := ConnectedComponents(g)
+	if count != 3 { // {0,1,2}, {3}, {4,5}
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if label[0] != label[1] || label[1] != label[2] {
+		t.Fatal("component {0,1,2} split")
+	}
+	if label[3] == label[0] || label[4] != label[5] || label[4] == label[3] {
+		t.Fatal("component labels wrong")
+	}
+}
+
+func TestIsIndependentAndDominating(t *testing.T) {
+	g := Cycle(6)
+	if !IsIndependentSet(g, []NodeID{0, 2, 4}) {
+		t.Fatal("alternating set not independent")
+	}
+	if IsIndependentSet(g, []NodeID{0, 1}) {
+		t.Fatal("adjacent pair reported independent")
+	}
+	all := []NodeID{0, 1, 2, 3, 4, 5}
+	if !IsDominatingSet(g, []NodeID{0, 3}, all) {
+		t.Fatal("{0,3} should dominate C6")
+	}
+	if IsDominatingSet(g, []NodeID{0}, all) {
+		t.Fatal("{0} cannot dominate C6")
+	}
+}

@@ -1,0 +1,255 @@
+package graph
+
+import "sort"
+
+// Union returns the graph containing every edge of g or h. Both operands
+// must share the same node space.
+func Union(g, h *Graph) *Graph {
+	mustSameN(g, h)
+	b := NewBuilder(g.n)
+	g.EachEdge(b.AddEdge)
+	h.EachEdge(b.AddEdge)
+	return b.Graph()
+}
+
+// Intersection returns the graph containing the edges present in both g
+// and h. Both operands must share the same node space.
+func Intersection(g, h *Graph) *Graph {
+	mustSameN(g, h)
+	b := NewBuilder(g.n)
+	small, big := g, h
+	if h.m < g.m {
+		small, big = h, g
+	}
+	small.EachEdge(func(u, v NodeID) {
+		if big.HasEdge(u, v) {
+			b.AddEdge(u, v)
+		}
+	})
+	return b.Graph()
+}
+
+// Difference returns the graph containing the edges of g that are not in h.
+func Difference(g, h *Graph) *Graph {
+	mustSameN(g, h)
+	b := NewBuilder(g.n)
+	g.EachEdge(func(u, v NodeID) {
+		if !h.HasEdge(u, v) {
+			b.AddEdge(u, v)
+		}
+	})
+	return b.Graph()
+}
+
+// IntersectAll folds Intersection over a non-empty slice of graphs.
+func IntersectAll(gs []*Graph) *Graph {
+	if len(gs) == 0 {
+		panic("graph: IntersectAll of empty slice")
+	}
+	acc := gs[0]
+	for _, g := range gs[1:] {
+		acc = Intersection(acc, g)
+	}
+	return acc
+}
+
+// UnionAll folds Union over a non-empty slice of graphs.
+func UnionAll(gs []*Graph) *Graph {
+	if len(gs) == 0 {
+		panic("graph: UnionAll of empty slice")
+	}
+	b := NewBuilder(gs[0].n)
+	for _, g := range gs {
+		mustSameN(gs[0], g)
+		g.EachEdge(b.AddEdge)
+	}
+	return b.Graph()
+}
+
+// InducedSubgraph returns the graph on the same node space keeping only
+// edges with both endpoints in keep.
+func InducedSubgraph(g *Graph, keep []NodeID) *Graph {
+	in := make(map[NodeID]bool, len(keep))
+	for _, v := range keep {
+		in[v] = true
+	}
+	b := NewBuilder(g.n)
+	for _, u := range keep {
+		for _, v := range g.adj[u] {
+			if u < v && in[v] {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// Ball returns the set of nodes within distance radius of v (including v),
+// sorted ascending. radius 0 yields {v}.
+func Ball(g *Graph, v NodeID, radius int) []NodeID {
+	dist := map[NodeID]int{v: 0}
+	frontier := []NodeID{v}
+	for d := 0; d < radius; d++ {
+		var next []NodeID
+		for _, u := range frontier {
+			for _, w := range g.adj[u] {
+				if _, ok := dist[w]; !ok {
+					dist[w] = d + 1
+					next = append(next, w)
+				}
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		frontier = next
+	}
+	out := make([]NodeID, 0, len(dist))
+	for u := range dist {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BallFingerprint hashes the induced subgraph on the radius-ball around v,
+// including the ball's membership. Two rounds in which a node's α-ball is
+// topologically identical (same member set and same edges among members,
+// matching "G_l[N^α(v)] = G_l'[N^α(v)]" in property B.2) produce equal
+// fingerprints; unequal topologies collide with probability ~2^-64.
+func BallFingerprint(g *Graph, v NodeID, radius int) uint64 {
+	members := Ball(g, v, radius)
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	mix := func(x uint64) {
+		h ^= x
+		h *= prime
+		h ^= h >> 29
+	}
+	in := make(map[NodeID]bool, len(members))
+	for _, u := range members {
+		in[u] = true
+	}
+	for _, u := range members {
+		mix(uint64(uint32(u)) | 1<<40)
+		for _, w := range g.adj[u] {
+			if u < w && in[w] {
+				mix(uint64(MakeEdgeKey(u, w)))
+			}
+		}
+	}
+	return h
+}
+
+// BallStatic reports whether the induced radius-ball around v is identical
+// in graphs a and b (exact comparison, not fingerprint).
+func BallStatic(a, b *Graph, v NodeID, radius int) bool {
+	ma := Ball(a, v, radius)
+	mb := Ball(b, v, radius)
+	if len(ma) != len(mb) {
+		return false
+	}
+	for i := range ma {
+		if ma[i] != mb[i] {
+			return false
+		}
+	}
+	in := make(map[NodeID]bool, len(ma))
+	for _, u := range ma {
+		in[u] = true
+	}
+	for _, u := range ma {
+		for _, w := range a.adj[u] {
+			if u < w && in[w] && !b.HasEdge(u, w) {
+				return false
+			}
+		}
+		for _, w := range b.adj[u] {
+			if u < w && in[w] && !a.HasEdge(u, w) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ConnectedComponents returns a component label per node (labels are
+// the minimal node id in each component) and the number of components,
+// counting isolated nodes as singleton components.
+func ConnectedComponents(g *Graph) (label []NodeID, count int) {
+	label = make([]NodeID, g.n)
+	for i := range label {
+		label[i] = -1
+	}
+	var stack []NodeID
+	for v := 0; v < g.n; v++ {
+		if label[v] != -1 {
+			continue
+		}
+		count++
+		root := NodeID(v)
+		label[v] = root
+		stack = append(stack[:0], root)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.adj[u] {
+				if label[w] == -1 {
+					label[w] = root
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	return label, count
+}
+
+// IsIndependentSet reports whether no two nodes of set are adjacent in g.
+func IsIndependentSet(g *Graph, set []NodeID) bool {
+	in := make(map[NodeID]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	for _, v := range set {
+		for _, u := range g.adj[v] {
+			if in[u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsDominatingSet reports whether every node in universe is in set or has
+// a neighbor in set.
+func IsDominatingSet(g *Graph, set []NodeID, universe []NodeID) bool {
+	in := make(map[NodeID]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	for _, v := range universe {
+		if in[v] {
+			continue
+		}
+		dominated := false
+		for _, u := range g.adj[v] {
+			if in[u] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return false
+		}
+	}
+	return true
+}
+
+func mustSameN(g, h *Graph) {
+	if g.n != h.n {
+		panic("graph: operand node spaces differ")
+	}
+}

@@ -1,0 +1,282 @@
+package prf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockDeterministic(t *testing.T) {
+	a := Block(42, 7, 3, PurposeLubyAlpha)
+	b := Block(42, 7, 3, PurposeLubyAlpha)
+	if a != b {
+		t.Fatalf("Block not deterministic: %x != %x", a, b)
+	}
+}
+
+func TestBlockKeySeparation(t *testing.T) {
+	base := Block(42, 7, 3, PurposeLubyAlpha)
+	cases := map[string]uint64{
+		"seed":    Block(43, 7, 3, PurposeLubyAlpha),
+		"node":    Block(42, 8, 3, PurposeLubyAlpha),
+		"round":   Block(42, 7, 4, PurposeLubyAlpha),
+		"purpose": Block(42, 7, 3, PurposeCandidate),
+	}
+	for name, v := range cases {
+		if v == base {
+			t.Errorf("changing %s did not change block", name)
+		}
+	}
+}
+
+func TestStreamSequenceDistinct(t *testing.T) {
+	s := NewStream(1, 2, 3, PurposeAux)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		v := s.Uint64()
+		if seen[v] {
+			t.Fatalf("duplicate block at position %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestStreamIndependentOfOtherStreams(t *testing.T) {
+	// Interleaved consumption must equal isolated consumption.
+	a1 := NewStream(9, 1, 1, PurposeAux)
+	b1 := NewStream(9, 2, 1, PurposeAux)
+	var seqA1, seqB1 []uint64
+	for i := 0; i < 16; i++ {
+		seqA1 = append(seqA1, a1.Uint64())
+		seqB1 = append(seqB1, b1.Uint64())
+	}
+	a2 := NewStream(9, 1, 1, PurposeAux)
+	b2 := NewStream(9, 2, 1, PurposeAux)
+	for i := 0; i < 16; i++ {
+		if got := a2.Uint64(); got != seqA1[i] {
+			t.Fatalf("stream A diverged at %d", i)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		if got := b2.Uint64(); got != seqB1[i] {
+			t.Fatalf("stream B diverged at %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewStream(5, 0, 0, PurposeAux)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	// Chi-square over 16 buckets, 160k samples. Threshold is generous
+	// (df=15, p≈1e-6) — this is a smoke test for gross bias.
+	const buckets = 16
+	const samples = 160000
+	var count [buckets]int
+	s := NewStream(12345, 3, 9, PurposeAux)
+	for i := 0; i < samples; i++ {
+		count[int(s.Float64()*buckets)]++
+	}
+	expected := float64(samples) / buckets
+	chi2 := 0.0
+	for _, c := range count {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 60 {
+		t.Fatalf("chi-square too large: %v (counts %v)", chi2, count)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := NewStream(7, 7, 7, PurposeAux)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of bounds", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	NewStream(1, 1, 1, PurposeAux).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := NewStream(99, 1, 1, PurposeAux)
+	const n = 7
+	const samples = 70000
+	var count [n]int
+	for i := 0; i < samples; i++ {
+		count[s.Intn(n)]++
+	}
+	expected := float64(samples) / n
+	for i, c := range count {
+		if math.Abs(float64(c)-expected) > 5*math.Sqrt(expected) {
+			t.Errorf("bucket %d count %d deviates from %v", i, c, expected)
+		}
+	}
+}
+
+func TestBernoulliEdgeCases(t *testing.T) {
+	s := NewStream(3, 3, 3, PurposeAux)
+	if s.Bernoulli(0) {
+		t.Error("Bernoulli(0) returned true")
+	}
+	if !s.Bernoulli(1) {
+		t.Error("Bernoulli(1) returned false")
+	}
+	if s.Bernoulli(-0.5) {
+		t.Error("Bernoulli(-0.5) returned true")
+	}
+	if !s.Bernoulli(1.5) {
+		t.Error("Bernoulli(1.5) returned false")
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	s := NewStream(31, 4, 2, PurposeCandidate)
+	const p = 0.25
+	const samples = 100000
+	hits := 0
+	for i := 0; i < samples; i++ {
+		if s.Bernoulli(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / samples
+	if math.Abs(got-p) > 0.01 {
+		t.Fatalf("Bernoulli(%v) frequency %v", p, got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := NewStream(8, 8, 8, PurposeAux)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := s.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpPositiveAndMeanish(t *testing.T) {
+	s := NewStream(17, 1, 1, PurposeAux)
+	const lambda = 2.0
+	sum := 0.0
+	const samples = 50000
+	for i := 0; i < samples; i++ {
+		v := s.Exp(lambda)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / samples
+	if math.Abs(mean-1/lambda) > 0.02 {
+		t.Fatalf("Exp mean %v, want ~%v", mean, 1/lambda)
+	}
+}
+
+func TestAlphaWordMatchesStreamFirstUint(t *testing.T) {
+	// The clairvoyant adversary's winner prediction compares AlphaWord
+	// values; they must equal the first Uint64 of the node's stream.
+	f := func(seed uint64, node int32, round uint16) bool {
+		r := int(round)
+		want := NewStream(seed, node, r, PurposeLubyAlpha).Uint64()
+		return AlphaWord(seed, node, r, PurposeLubyAlpha) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlphaMatchesStreamFirstFloat(t *testing.T) {
+	// The clairvoyant adversary (E13) depends on Alpha predicting the first
+	// Float64 of the node's PurposeLubyAlpha stream exactly.
+	f := func(seed uint64, node int32, round uint16) bool {
+		r := int(round)
+		want := NewStream(seed, node, r, PurposeLubyAlpha).Float64()
+		got := Alpha(seed, node, r, PurposeLubyAlpha)
+		return want == got
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeriveChangesPurposeOnly(t *testing.T) {
+	s := NewStream(11, 5, 6, PurposeTentativeColor)
+	d := s.Derive(PurposeCandidate)
+	if d.seed != s.seed || d.node != s.node || d.round != s.round {
+		t.Fatal("Derive changed coordinates other than purpose")
+	}
+	if d.purpose != PurposeCandidate {
+		t.Fatal("Derive did not change purpose")
+	}
+	if d.Uint64() == NewStream(11, 5, 6, PurposeTentativeColor).Uint64() {
+		t.Fatal("derived stream equals parent stream")
+	}
+}
+
+func TestAvalancheOnNode(t *testing.T) {
+	// Flipping one bit of the node id should flip ~32 of 64 output bits.
+	diffBits := 0
+	const trials = 1000
+	for i := 0; i < trials; i++ {
+		a := Block(100, int32(i), 5, PurposeAux)
+		b := Block(100, int32(i)^1, 5, PurposeAux)
+		x := a ^ b
+		for x != 0 {
+			diffBits += int(x & 1)
+			x >>= 1
+		}
+	}
+	mean := float64(diffBits) / trials
+	if mean < 28 || mean > 36 {
+		t.Fatalf("poor avalanche: mean differing bits %v", mean)
+	}
+}
+
+func BenchmarkBlock(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= Block(42, int32(i), i, PurposeAux)
+	}
+	_ = sink
+}
+
+func BenchmarkStreamFloat64(b *testing.B) {
+	s := NewStream(42, 1, 1, PurposeAux)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.Float64()
+	}
+	_ = sink
+}

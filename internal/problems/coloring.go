@@ -1,0 +1,127 @@
+package problems
+
+import (
+	"fmt"
+
+	"dynlocal/internal/graph"
+)
+
+// ProperColoring is the packing component C_P of the coloring problem:
+// properly coloring the nodes with no bound on the number of colors
+// (Section 4). Removing edges preserves properness, so this is a packing
+// problem in the sense of Definition 3.1.
+type ProperColoring struct{}
+
+// Name implements Problem.
+func (ProperColoring) Name() string { return "proper-coloring" }
+
+// Radius implements Problem; properness is checkable at radius 1.
+func (ProperColoring) Radius() int { return 1 }
+
+// CheckFull reports nodes among the given set with Bot or non-positive
+// outputs and conflicting (equal-colored) neighbor pairs. Each conflicting
+// edge is reported once, attributed to its lower-id endpoint.
+func (ProperColoring) CheckFull(g *graph.Graph, out []Value, nodes []graph.NodeID) []Violation {
+	var bad []Violation
+	inSet := memberSet(g.N(), nodes)
+	for _, v := range nodes {
+		switch {
+		case out[v] == Bot:
+			bad = append(bad, Violation{Node: v, Peer: NoPeer, Reason: "uncolored (⊥) in full solution"})
+		case out[v] < 0:
+			bad = append(bad, Violation{Node: v, Peer: NoPeer, Reason: fmt.Sprintf("invalid color %d", out[v])})
+		}
+	}
+	for _, v := range nodes {
+		if out[v] == Bot {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if v < u && inSet[u] && out[u] == out[v] {
+				bad = append(bad, Violation{Node: v, Peer: u,
+					Reason: fmt.Sprintf("conflict: both colored %d", out[v])})
+			}
+		}
+	}
+	return bad
+}
+
+// CheckPartial implements the partial-packing condition: as argued in
+// Section 4.1, a vector is partial packing for C_P if and only if the
+// colored nodes form a proper coloring (uncolored nodes can always be
+// extended greedily with fresh colors).
+func (ProperColoring) CheckPartial(g *graph.Graph, out []Value) []Violation {
+	var bad []Violation
+	g.EachEdge(func(u, v graph.NodeID) {
+		if out[u] != Bot && out[u] == out[v] {
+			bad = append(bad, Violation{Node: u, Peer: v,
+				Reason: fmt.Sprintf("partial conflict: both colored %d", out[u])})
+		}
+	})
+	return bad
+}
+
+// DegreeRange is the covering component C_C of the coloring problem: a
+// (possibly improper) coloring where node v's color lies in
+// {1, …, deg(v)+1} (Section 4). Adding edges only increases degrees, so
+// feasibility is preserved under edge addition — a covering problem.
+//
+// In the dynamic problem this is evaluated on the union graph G^∪T, i.e.
+// against the number of distinct neighbors seen during the window.
+type DegreeRange struct{}
+
+// Name implements Problem.
+func (DegreeRange) Name() string { return "degree+1-range" }
+
+// Radius implements Problem; the condition is unary given the degree.
+func (DegreeRange) Radius() int { return 1 }
+
+// CheckFull reports nodes among the given set with Bot outputs or colors
+// outside {1, …, deg_g(v)+1}.
+func (DegreeRange) CheckFull(g *graph.Graph, out []Value, nodes []graph.NodeID) []Violation {
+	var bad []Violation
+	for _, v := range nodes {
+		if out[v] == Bot {
+			bad = append(bad, Violation{Node: v, Peer: NoPeer, Reason: "uncolored (⊥) in full solution"})
+			continue
+		}
+		if bad2 := checkRange(g, out, v); bad2 != nil {
+			bad = append(bad, *bad2)
+		}
+	}
+	return bad
+}
+
+// CheckPartial implements the partial-covering condition: the range
+// condition depends only on v's own color and degree, never on neighbor
+// outputs, so it must already hold for every colored node (Section 4.1).
+func (DegreeRange) CheckPartial(g *graph.Graph, out []Value) []Violation {
+	var bad []Violation
+	for v := 0; v < g.N(); v++ {
+		if out[v] == Bot {
+			continue
+		}
+		if bad2 := checkRange(g, out, graph.NodeID(v)); bad2 != nil {
+			bad = append(bad, *bad2)
+		}
+	}
+	return bad
+}
+
+func checkRange(g *graph.Graph, out []Value, v graph.NodeID) *Violation {
+	c := out[v]
+	limit := Value(g.Degree(v) + 1)
+	if c < 1 || c > limit {
+		return &Violation{Node: v, Peer: NoPeer,
+			Reason: fmt.Sprintf("color %d outside {1,…,%d}", c, limit)}
+	}
+	return nil
+}
+
+func memberSet(n int, nodes []graph.NodeID) []bool {
+	in := make([]bool, n)
+	for _, v := range nodes {
+		in[v] = true
+	}
+	return in
+}

@@ -1,0 +1,123 @@
+package problems
+
+import (
+	"fmt"
+
+	"dynlocal/internal/graph"
+)
+
+// IndependentSet is the packing component M_P of the MIS problem: the
+// nodes with output InMIS must form an independent set (Section 5).
+// Removing edges preserves independence — a packing problem.
+type IndependentSet struct{}
+
+// Name implements Problem.
+func (IndependentSet) Name() string { return "independent-set" }
+
+// Radius implements Problem.
+func (IndependentSet) Radius() int { return 1 }
+
+// CheckFull reports nodes among the given set with Bot or out-of-domain
+// outputs, and adjacent InMIS pairs (attributed to the lower endpoint).
+func (IndependentSet) CheckFull(g *graph.Graph, out []Value, nodes []graph.NodeID) []Violation {
+	var bad []Violation
+	inSet := memberSet(g.N(), nodes)
+	for _, v := range nodes {
+		switch out[v] {
+		case Bot:
+			bad = append(bad, Violation{Node: v, Peer: NoPeer, Reason: "undecided (⊥) in full solution"})
+		case InMIS, Dominated:
+		default:
+			bad = append(bad, Violation{Node: v, Peer: NoPeer,
+				Reason: fmt.Sprintf("invalid MIS value %d", out[v])})
+		}
+	}
+	for _, v := range nodes {
+		if out[v] != InMIS {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if v < u && inSet[u] && out[u] == InMIS {
+				bad = append(bad, Violation{Node: v, Peer: u, Reason: "adjacent MIS nodes"})
+			}
+		}
+	}
+	return bad
+}
+
+// CheckPartial implements partial packing per Section 5.2: a vector is
+// partial packing for M_P if and only if no two adjacent nodes are InMIS
+// (the extension setting all ⊥ nodes to Dominated then satisfies every
+// decided node).
+func (IndependentSet) CheckPartial(g *graph.Graph, out []Value) []Violation {
+	var bad []Violation
+	g.EachEdge(func(u, v graph.NodeID) {
+		if out[u] == InMIS && out[v] == InMIS {
+			bad = append(bad, Violation{Node: u, Peer: v, Reason: "adjacent MIS nodes (partial)"})
+		}
+	})
+	return bad
+}
+
+// DominatingSet is the covering component M_C of the MIS problem: the
+// InMIS nodes must dominate every node (Section 5). Adding edges only
+// helps domination — a covering problem.
+//
+// In the dynamic problem this is evaluated on the union graph G^∪T: a
+// dominated node must have had an MIS neighbor at some point during the
+// window.
+type DominatingSet struct{}
+
+// Name implements Problem.
+func (DominatingSet) Name() string { return "dominating-set" }
+
+// Radius implements Problem.
+func (DominatingSet) Radius() int { return 1 }
+
+// CheckFull reports nodes among the given set that are Bot, out of domain,
+// or Dominated without any InMIS neighbor in g. (Domination may come from
+// any neighbor in g, not only from nodes of the checked subset: the
+// covering property of Definition 2.1's union graph counts all edges seen
+// in the window.)
+func (DominatingSet) CheckFull(g *graph.Graph, out []Value, nodes []graph.NodeID) []Violation {
+	var bad []Violation
+	for _, v := range nodes {
+		switch out[v] {
+		case InMIS:
+			continue
+		case Dominated:
+			if !hasMISNeighbor(g, out, v) {
+				bad = append(bad, Violation{Node: v, Peer: NoPeer, Reason: "dominated without MIS neighbor"})
+			}
+		case Bot:
+			bad = append(bad, Violation{Node: v, Peer: NoPeer, Reason: "undecided (⊥) in full solution"})
+		default:
+			bad = append(bad, Violation{Node: v, Peer: NoPeer,
+				Reason: fmt.Sprintf("invalid MIS value %d", out[v])})
+		}
+	}
+	return bad
+}
+
+// CheckPartial implements partial covering per Section 5.2: every node
+// already in state Dominated must already have an InMIS neighbor, because
+// the extension setting all ⊥ nodes to Dominated provides none.
+func (DominatingSet) CheckPartial(g *graph.Graph, out []Value) []Violation {
+	var bad []Violation
+	for v := 0; v < g.N(); v++ {
+		if out[v] == Dominated && !hasMISNeighbor(g, out, graph.NodeID(v)) {
+			bad = append(bad, Violation{Node: graph.NodeID(v), Peer: NoPeer,
+				Reason: "dominated without MIS neighbor (partial)"})
+		}
+	}
+	return bad
+}
+
+func hasMISNeighbor(g *graph.Graph, out []Value, v graph.NodeID) bool {
+	for _, u := range g.Neighbors(v) {
+		if out[u] == InMIS {
+			return true
+		}
+	}
+	return false
+}

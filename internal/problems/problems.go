@@ -1,0 +1,111 @@
+// Package problems defines distributed graph problems in the form the
+// paper's framework requires: a problem is decomposed into a packing
+// property (preserved under edge removal) and a covering property
+// (preserved under edge addition), per Definition 3.1, with locally
+// checkable (LCL) feasibility per node. It also implements the
+// partial-packing and partial-covering conditions of Definition 3.2 that
+// network-static algorithms must maintain every round.
+//
+// The two instantiations from the paper are provided:
+//
+//   - MIS = independent set (packing M_P) ∩ dominating set (covering M_C),
+//     Section 5.
+//   - (degree+1)-coloring = proper coloring (packing C_P) ∩ colors within
+//     {1, …, deg(v)+1} (covering C_C), Section 4.
+package problems
+
+import (
+	"fmt"
+
+	"dynlocal/internal/graph"
+)
+
+// Value is a node output. The zero value Bot is ⊥ ("no output yet").
+// Coloring outputs are colors 1, 2, …; MIS outputs are InMIS or Dominated.
+type Value int64
+
+// Bot is ⊥: the node has not produced an output.
+const Bot Value = 0
+
+// MIS output values.
+const (
+	InMIS     Value = 1 // the node is in the independent set M
+	Dominated Value = 2 // the node is dominated by an M-neighbor
+)
+
+// Violation reports a node whose LCL condition fails, with the peer
+// involved (NoPeer if the condition is unary) and a reason for test and
+// experiment diagnostics.
+type Violation struct {
+	Node   graph.NodeID
+	Peer   graph.NodeID
+	Reason string
+}
+
+// NoPeer marks unary violations.
+const NoPeer graph.NodeID = -1
+
+func (v Violation) String() string {
+	if v.Peer == NoPeer {
+		return fmt.Sprintf("node %d: %s", v.Node, v.Reason)
+	}
+	return fmt.Sprintf("node %d (peer %d): %s", v.Node, v.Peer, v.Reason)
+}
+
+// Problem is the common surface of packing and covering problems.
+type Problem interface {
+	// Name identifies the problem in reports.
+	Name() string
+	// Radius is the LCL checking radius (1 for all problems in the paper).
+	Radius() int
+}
+
+// Packing is a distributed graph problem whose solutions remain solutions
+// when edges are removed (Definition 3.1).
+type Packing interface {
+	Problem
+	// CheckFull returns the LCL violations of out among the given nodes on
+	// g, treating out as a complete solution: Bot outputs among nodes are
+	// themselves violations.
+	CheckFull(g *graph.Graph, out []Value, nodes []graph.NodeID) []Violation
+	// CheckPartial returns violations of the partial-packing condition of
+	// Definition 3.2: there must exist an extension of out in which the
+	// LCL condition holds for every node with a non-Bot output.
+	CheckPartial(g *graph.Graph, out []Value) []Violation
+}
+
+// Covering is a distributed graph problem whose solutions remain solutions
+// when edges are added (Definition 3.1).
+type Covering interface {
+	Problem
+	// CheckFull is as for Packing.CheckFull.
+	CheckFull(g *graph.Graph, out []Value, nodes []graph.NodeID) []Violation
+	// CheckPartial returns violations of the partial-covering condition of
+	// Definition 3.2: the LCL condition must hold for every node with a
+	// non-Bot output under every extension of out.
+	CheckPartial(g *graph.Graph, out []Value) []Violation
+}
+
+// PC bundles the packing and covering components of one combined problem,
+// e.g. MIS or (degree+1)-coloring.
+type PC struct {
+	Label string
+	P     Packing
+	C     Covering
+}
+
+// Name returns the combined problem's label.
+func (pc PC) Name() string { return pc.Label }
+
+// MIS returns the maximal-independent-set problem decomposed per Section 5:
+// packing M_P (independent set) and covering M_C (dominating set).
+func MIS() PC {
+	return PC{Label: "mis", P: IndependentSet{}, C: DominatingSet{}}
+}
+
+// Coloring returns the (degree+1)-coloring problem decomposed per
+// Section 4: packing C_P (proper coloring, unbounded colors) and covering
+// C_C (color within {1, …, deg(v)+1}).
+func Coloring() PC {
+	return PC{Label: "degree+1-coloring", P: ProperColoring{}, C: DegreeRange{}}
+}

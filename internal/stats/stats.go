@@ -1,0 +1,304 @@
+// Package stats provides the small statistics and reporting toolkit used
+// by the experiment harness: summary statistics, percentiles, linear
+// regression against log₂ n (the shape test for the paper's O(log n)
+// bounds), fixed-width table rendering and CSV output.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the usual aggregate statistics of a sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+	P90    float64
+	P99    float64
+}
+
+// Summarize computes a Summary; it returns the zero value for an empty
+// sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	varSum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varSum += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(varSum / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Percentile(sorted, 0.5)
+	s.P90 = Percentile(sorted, 0.9)
+	s.P99 = Percentile(sorted, 0.99)
+	return s
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of an ascending-sorted
+// sample using linear interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean (NaN for empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// LinearFit is a least-squares fit y = Slope·x + Intercept with the
+// coefficient of determination R².
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// FitLinear computes the least-squares line through (x, y) pairs.
+func FitLinear(x, y []float64) LinearFit {
+	n := float64(len(x))
+	if len(x) != len(y) || len(x) < 2 {
+		return LinearFit{Slope: math.NaN(), Intercept: math.NaN(), R2: math.NaN()}
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return LinearFit{Slope: math.NaN(), Intercept: math.NaN(), R2: math.NaN()}
+	}
+	slope := (n*sxy - sx*sy) / denom
+	intercept := (sy - slope*sx) / n
+	// R² = 1 - SS_res/SS_tot.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range x {
+		pred := slope*x[i] + intercept
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - meanY) * (y[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2}
+}
+
+// FitLogN fits y = a·log₂(n) + b — the shape test for the paper's
+// O(log n) round bounds: a sub-logarithmic or logarithmic growth shows as
+// a good fit with moderate slope, anything super-logarithmic as a poor
+// fit or exploding residuals at the top end.
+func FitLogN(ns []int, y []float64) LinearFit {
+	x := make([]float64, len(ns))
+	for i, n := range ns {
+		x[i] = math.Log2(float64(n))
+	}
+	return FitLinear(x, y)
+}
+
+// Table renders aligned fixed-width tables for experiment output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; each cell is rendered with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for pad := len(c); pad < widths[i]; pad++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	io.WriteString(w, sb.String()) //nolint:errcheck // best-effort reporting
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	writeCSVRow(w, t.header)
+	for _, row := range t.rows {
+		writeCSVRow(w, row)
+	}
+}
+
+func writeCSVRow(w io.Writer, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			io.WriteString(w, ",") //nolint:errcheck
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		io.WriteString(w, c) //nolint:errcheck
+	}
+	io.WriteString(w, "\n") //nolint:errcheck
+}
+
+// Histogram bins a sample into equal-width buckets for quick text
+// rendering of distributions (e.g. conflict-resolution times in E2).
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+}
+
+// NewHistogram bins xs into k equal-width buckets spanning [min, max].
+func NewHistogram(xs []float64, k int) Histogram {
+	if len(xs) == 0 || k < 1 {
+		return Histogram{}
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	h := Histogram{Lo: lo, Hi: hi, Buckets: make([]int, k)}
+	span := hi - lo
+	for _, x := range xs {
+		var idx int
+		if span > 0 {
+			idx = int(float64(k) * (x - lo) / span)
+		}
+		if idx >= k {
+			idx = k - 1
+		}
+		h.Buckets[idx]++
+	}
+	return h
+}
+
+// Render writes the histogram as text bars.
+func (h Histogram) Render(w io.Writer) {
+	if len(h.Buckets) == 0 {
+		return
+	}
+	max := 0
+	for _, b := range h.Buckets {
+		if b > max {
+			max = b
+		}
+	}
+	span := h.Hi - h.Lo
+	for i, b := range h.Buckets {
+		lo := h.Lo + span*float64(i)/float64(len(h.Buckets))
+		hi := h.Lo + span*float64(i+1)/float64(len(h.Buckets))
+		bar := 0
+		if max > 0 {
+			bar = b * 40 / max
+		}
+		fmt.Fprintf(w, "%8.1f-%-8.1f %6d %s\n", lo, hi, b, strings.Repeat("#", bar))
+	}
+}

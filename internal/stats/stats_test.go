@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3, 20},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("P%.2f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		sorted := append([]float64(nil), raw...)
+		for i := range sorted {
+			sorted[i] = math.Abs(float64(int64(sorted[i]*100) % 1000))
+		}
+		// simple insertion sort to avoid importing sort twice
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.05 {
+			v := Percentile(sorted, p)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	fit := FitLinear(x, y)
+	if math.Abs(fit.Slope-2) > 1e-9 || math.Abs(fit.Intercept-3) > 1e-9 || fit.R2 < 0.9999 {
+		t.Fatalf("fit = %+v", fit)
+	}
+}
+
+func TestFitLinearDegenerate(t *testing.T) {
+	if fit := FitLinear([]float64{1}, []float64{2}); !math.IsNaN(fit.Slope) {
+		t.Fatal("single-point fit should be NaN")
+	}
+	if fit := FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3}); !math.IsNaN(fit.Slope) {
+		t.Fatal("vertical fit should be NaN")
+	}
+}
+
+func TestFitLogN(t *testing.T) {
+	ns := []int{128, 256, 512, 1024, 2048}
+	y := make([]float64, len(ns))
+	for i, n := range ns {
+		y[i] = 3*math.Log2(float64(n)) + 1
+	}
+	fit := FitLogN(ns, y)
+	if math.Abs(fit.Slope-3) > 1e-9 || fit.R2 < 0.9999 {
+		t.Fatalf("log fit = %+v", fit)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("mean wrong")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty mean should be NaN")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("n", "rounds", "ratio")
+	tb.AddRow(128, 14, 0.6667)
+	tb.AddRow(1024, 21, 123.456)
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "n ") || !strings.Contains(lines[0], "rounds") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "0.667") {
+		t.Fatalf("float formatting wrong: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "123.5") {
+		t.Fatalf("large float formatting wrong: %q", lines[3])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("x,y", 2)
+	var buf bytes.Buffer
+	tb.CSV(&buf)
+	want := "a,b\n\"x,y\",2\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 1, 2, 3, 10}, 3)
+	total := 0
+	for _, b := range h.Buckets {
+		total += b
+	}
+	if total != 5 {
+		t.Fatalf("histogram lost samples: %v", h.Buckets)
+	}
+	if h.Buckets[0] != 4 { // 1,1,2,3 in [1,4)
+		t.Fatalf("buckets = %v", h.Buckets)
+	}
+	var buf bytes.Buffer
+	h.Render(&buf)
+	if !strings.Contains(buf.String(), "#") {
+		t.Fatal("histogram bars missing")
+	}
+	empty := NewHistogram(nil, 4)
+	if len(empty.Buckets) != 0 {
+		t.Fatal("empty histogram should have no buckets")
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram([]float64{5, 5, 5}, 4)
+	if h.Buckets[0] != 3 {
+		t.Fatalf("degenerate histogram wrong: %v", h.Buckets)
+	}
+}

@@ -1,0 +1,263 @@
+package verify
+
+import (
+	"testing"
+
+	"dynlocal/internal/graph"
+	"dynlocal/internal/problems"
+)
+
+func allNodes(n int) []graph.NodeID {
+	out := make([]graph.NodeID, n)
+	for i := range out {
+		out[i] = graph.NodeID(i)
+	}
+	return out
+}
+
+func TestTDynamicAcceptsValidColoring(t *testing.T) {
+	// Static P4 with a fixed proper coloring: valid every round.
+	const T = 3
+	g := graph.Path(4)
+	out := []problems.Value{1, 2, 1, 2}
+	c := NewTDynamic(problems.Coloring(), T, 4)
+	for r := 1; r <= 8; r++ {
+		var wake []graph.NodeID
+		if r == 1 {
+			wake = allNodes(4)
+		}
+		rep := c.Observe(g, wake, out)
+		if !rep.Valid() {
+			t.Fatalf("round %d flagged: %+v", r, rep)
+		}
+		if r < T && rep.CoreNodes != 0 {
+			t.Fatalf("round %d: core before window fills: %d", r, rep.CoreNodes)
+		}
+		if r >= T && rep.CoreNodes != 4 {
+			t.Fatalf("round %d: core = %d, want 4", r, rep.CoreNodes)
+		}
+	}
+	rounds, invalid, packing, cover, bot := c.Totals()
+	if rounds != 8 || invalid != 0 || packing != 0 || cover != 0 || bot != 0 {
+		t.Fatalf("totals wrong: %d %d %d %d %d", rounds, invalid, packing, cover, bot)
+	}
+}
+
+func TestTDynamicPackingOnIntersectionOnly(t *testing.T) {
+	// Conflict edge present only occasionally stays out of G^∩T: no
+	// packing violation; but it enters G^∪T, which matters for covering
+	// (range) only, not properness.
+	const T = 3
+	base := graph.Path(4)
+	conflictG := graph.Union(base, graph.FromEdges(4, []graph.EdgeKey{graph.MakeEdgeKey(0, 2)}))
+	out := []problems.Value{1, 2, 1, 2} // 0 and 2 share color 1
+	c := NewTDynamic(problems.Coloring(), T, 4)
+	seq := []*graph.Graph{base, base, base, conflictG, base, base}
+	for r, g := range seq {
+		var wake []graph.NodeID
+		if r == 0 {
+			wake = allNodes(4)
+		}
+		rep := c.Observe(g, wake, out)
+		if len(rep.PackingViolations) != 0 {
+			t.Fatalf("round %d: transient edge caused packing violation: %v", r+1, rep.PackingViolations)
+		}
+	}
+	// Now keep the conflict edge for T rounds: packing must fire.
+	var lastRep TDynamicReport
+	for i := 0; i < T; i++ {
+		lastRep = c.Observe(conflictG, nil, out)
+	}
+	if len(lastRep.PackingViolations) == 0 {
+		t.Fatal("persistent conflict edge not flagged on intersection graph")
+	}
+}
+
+func TestTDynamicCoveringOnUnion(t *testing.T) {
+	// A color too large for the union degree must be flagged even if the
+	// current degree would allow... the opposite: color valid for current
+	// graph but exceeding nothing. Construct: node 0 colored 2 with degree
+	// 1 in every round: limit = 2 -> fine. Then isolate node 0: current
+	// degree 0, but union still has the edge for T rounds -> fine; after
+	// the edge expires from the union, limit = 1 -> violation.
+	const T = 3
+	withEdge := graph.FromEdges(2, []graph.EdgeKey{graph.MakeEdgeKey(0, 1)})
+	empty := graph.Empty(2)
+	out := []problems.Value{2, 1}
+	c := NewTDynamic(problems.Coloring(), T, 2)
+	c.Observe(withEdge, allNodes(2), out)
+	c.Observe(withEdge, nil, out)
+	c.Observe(withEdge, nil, out)
+	rep := c.Observe(empty, nil, out) // union still has the edge
+	if len(rep.CoverViolations) != 0 {
+		t.Fatalf("covering flagged while edge in union: %v", rep.CoverViolations)
+	}
+	c.Observe(empty, nil, out)
+	rep = c.Observe(empty, nil, out) // edge expired: d∪ = 0, limit 1 < 2
+	if len(rep.CoverViolations) == 0 {
+		t.Fatal("covering violation missed after union expiry")
+	}
+}
+
+func TestTDynamicBotCoreCounted(t *testing.T) {
+	const T = 2
+	g := graph.Empty(3)
+	out := []problems.Value{problems.Bot, 1, 1}
+	c := NewTDynamic(problems.Coloring(), T, 3)
+	c.Observe(g, allNodes(3), out)
+	rep := c.Observe(g, nil, out)
+	if rep.BotCore != 1 || rep.Valid() {
+		t.Fatalf("BotCore = %d, valid = %v", rep.BotCore, rep.Valid())
+	}
+	// Bot nodes are not double-reported as packing/covering violations.
+	if len(rep.PackingViolations) != 0 || len(rep.CoverViolations) != 0 {
+		t.Fatalf("Bot double-reported: %+v", rep)
+	}
+}
+
+func TestTDynamicMIS(t *testing.T) {
+	const T = 2
+	g := graph.Cycle(4)
+	good := []problems.Value{problems.InMIS, problems.Dominated, problems.InMIS, problems.Dominated}
+	c := NewTDynamic(problems.MIS(), T, 4)
+	c.Observe(g, allNodes(4), good)
+	rep := c.Observe(g, nil, good)
+	if !rep.Valid() {
+		t.Fatalf("valid MIS flagged: %+v", rep)
+	}
+	bad := []problems.Value{problems.InMIS, problems.InMIS, problems.Dominated, problems.Dominated}
+	c2 := NewTDynamic(problems.MIS(), T, 4)
+	c2.Observe(g, allNodes(4), bad)
+	rep = c2.Observe(g, nil, bad)
+	if len(rep.PackingViolations) == 0 {
+		t.Fatal("adjacent MIS nodes not flagged")
+	}
+}
+
+func TestPartialChecker(t *testing.T) {
+	g := graph.Path(3)
+	c := NewPartial(problems.Coloring())
+	rep := c.Observe(g, []problems.Value{1, problems.Bot, 1})
+	if !rep.Valid() {
+		t.Fatalf("valid partial flagged: %+v", rep)
+	}
+	rep = c.Observe(g, []problems.Value{1, 1, problems.Bot})
+	if rep.Valid() {
+		t.Fatal("conflicting partial accepted")
+	}
+	rep = c.Observe(g, []problems.Value{3, problems.Bot, problems.Bot}) // color 3 > deg+1 = 2
+	if rep.Valid() {
+		t.Fatal("range-violating partial accepted")
+	}
+	rounds, invalid, total := c.Totals()
+	if rounds != 3 || invalid != 2 || total != 2 {
+		t.Fatalf("totals = %d %d %d", rounds, invalid, total)
+	}
+}
+
+func TestStabilityViolationDetected(t *testing.T) {
+	// Static graph throughout; a node changing output after Wait rounds
+	// must be flagged.
+	g := graph.Path(3)
+	s := NewStability(3, 2, 2)
+	out := []problems.Value{1, 2, 1}
+	s.Observe(g, allNodes(3), out) // round 1: streak starts
+	s.Observe(g, nil, out)         // round 2
+	s.Observe(g, nil, out)         // round 3 = streak(1)+Wait(2): boundary, change still allowed
+	changed := []problems.Value{1, 3, 1}
+	v := s.Observe(g, nil, changed) // round 4 > 1+2: violation
+	if len(v) != 1 || v[0].Node != 1 || v[0].Round != 4 {
+		t.Fatalf("violations = %+v", v)
+	}
+	if s.Changes() != 1 {
+		t.Fatalf("changes = %d", s.Changes())
+	}
+}
+
+func TestStabilityChangeAllowedAtBoundary(t *testing.T) {
+	g := graph.Path(3)
+	s := NewStability(3, 2, 2)
+	out := []problems.Value{1, 2, 1}
+	s.Observe(g, allNodes(3), out)
+	s.Observe(g, nil, out)
+	// Round 3 == staticSince(1) + Wait(2): the last allowed change.
+	v := s.Observe(g, nil, []problems.Value{1, 3, 1})
+	if len(v) != 0 {
+		t.Fatalf("boundary change flagged: %+v", v)
+	}
+}
+
+func TestStabilityStreakResetByTopologyChange(t *testing.T) {
+	a := graph.Path(3)
+	b := graph.Cycle(3) // changes every node's 1-ball
+	s := NewStability(3, 1, 1)
+	out := []problems.Value{1, 2, 3}
+	s.Observe(a, allNodes(3), out) // round 1
+	s.Observe(a, nil, out)         // round 2
+	s.Observe(b, nil, out)         // round 3: topology change resets streaks
+	// Round 4: change at streak(3)+1 = allowed boundary.
+	v := s.Observe(b, nil, []problems.Value{2, 2, 3})
+	if len(v) != 0 {
+		t.Fatalf("change right after topology change flagged: %+v", v)
+	}
+	// Round 5 > 3+1: further change must be flagged.
+	v = s.Observe(b, nil, []problems.Value{3, 2, 3})
+	if len(v) != 1 {
+		t.Fatalf("late change not flagged: %+v", v)
+	}
+}
+
+func TestStabilityOutsideBallChangeDoesNotReset(t *testing.T) {
+	// α = 1: edge changes at distance 2 must not reset node 0's streak.
+	base := graph.Path(4) // 0-1-2-3
+	mod := graph.FromEdges(4, []graph.EdgeKey{
+		graph.MakeEdgeKey(0, 1), graph.MakeEdgeKey(1, 2),
+	}) // remove {2,3}: outside 1-ball of node 0
+	s := NewStability(4, 1, 1)
+	out := []problems.Value{1, 2, 1, 2}
+	s.Observe(base, allNodes(4), out) // round 1
+	s.Observe(mod, nil, out)          // round 2: node 0's 1-ball unchanged
+	// Round 3: node 0 changes output; streak began round 1, 3 > 1+1:
+	// must be flagged (its ball was static the whole time).
+	v := s.Observe(mod, nil, []problems.Value{3, 2, 1, 2})
+	if len(v) != 1 || v[0].Node != 0 {
+		t.Fatalf("violation for out-of-ball-stable node missed: %+v", v)
+	}
+}
+
+func TestStabilityWakeStartsStreak(t *testing.T) {
+	g := graph.Empty(2)
+	s := NewStability(2, 1, 3)
+	out := []problems.Value{problems.Bot, problems.Bot}
+	s.Observe(g, []graph.NodeID{0}, out) // round 1: only node 0 awake
+	s.Observe(g, nil, out)
+	s.Observe(g, []graph.NodeID{1}, out) // round 3: node 1 wakes
+	s.Observe(g, nil, out)
+	s.Observe(g, nil, out)
+	// Round 6: node 1's streak started at 3; 6 == 3+3 boundary -> allowed.
+	v := s.Observe(g, nil, []problems.Value{problems.Bot, 1})
+	if len(v) != 0 {
+		t.Fatalf("change at wake+Wait boundary flagged: %+v", v)
+	}
+	// Round 7 > boundary: flagged.
+	v = s.Observe(g, nil, []problems.Value{problems.Bot, 2})
+	if len(v) != 1 || v[0].Node != 1 {
+		t.Fatalf("late change after wake not flagged: %+v", v)
+	}
+}
+
+func TestConflictEdges(t *testing.T) {
+	g := graph.Path(4)
+	out := []problems.Value{1, 1, problems.Bot, problems.Bot}
+	ce := ConflictEdges(g, out)
+	if len(ce) != 1 {
+		t.Fatalf("conflict edges = %v", ce)
+	}
+	u, v := ce[0].Nodes()
+	if u != 0 || v != 1 {
+		t.Fatalf("conflict edge = {%d,%d}", u, v)
+	}
+	if len(ConflictEdges(g, []problems.Value{1, 2, 1, 2})) != 0 {
+		t.Fatal("proper coloring reported conflicts")
+	}
+}
