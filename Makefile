@@ -1,0 +1,34 @@
+# Development entry points; CI (.github/workflows/ci.yml) runs the same
+# targets.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt fmt-check vet check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Determinism under the race detector with sharded workers.
+race:
+	$(GO) test -race -short ./...
+
+# Full bench suite; writes BENCH_<date>.json in the repo root.
+bench:
+	scripts/bench.sh
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+check: build fmt-check vet test

@@ -78,12 +78,25 @@ func BenchmarkE05MISEdgeDecay(b *testing.B) {
 }
 
 func BenchmarkE06DMisConvergence(b *testing.B) {
-	var lastSlope float64
-	for i := 0; i < b.N; i++ {
-		res := experiments.E06DMisConvergence(benchParams(i))
-		lastSlope = res.Fit.Slope
-	}
-	b.ReportMetric(lastSlope, "slope-log2n")
+	b.Run("quick", func(b *testing.B) {
+		var lastSlope float64
+		for i := 0; i < b.N; i++ {
+			res := experiments.E06DMisConvergence(benchParams(i))
+			lastSlope = res.Fit.Slope
+		}
+		b.ReportMetric(lastSlope, "slope-log2n")
+	})
+	// Large-N end-to-end cell: one trial at N=4096 across the adversary
+	// suite — the hot-path yardstick for graph-build and engine work.
+	b.Run("N4096", func(b *testing.B) {
+		var mean float64
+		for i := 0; i < b.N; i++ {
+			p := experiments.Params{Quick: true, Seed: uint64(i + 1), NSweep: []int{4096}, Trials: 1}
+			res := experiments.E06DMisConvergence(p)
+			mean = res.Points[len(res.Points)-1].Rounds.Mean
+		}
+		b.ReportMetric(mean, "rounds")
+	})
 }
 
 func BenchmarkE07SMisStaticBall(b *testing.B) {
@@ -96,13 +109,27 @@ func BenchmarkE07SMisStaticBall(b *testing.B) {
 }
 
 func BenchmarkE08ConcatEndToEnd(b *testing.B) {
-	var invalid float64
-	for i := 0; i < b.N; i++ {
-		for _, r := range experiments.E08ConcatEndToEnd(benchParams(i)) {
-			invalid += float64(r.InvalidRounds)
+	b.Run("quick", func(b *testing.B) {
+		var invalid float64
+		for i := 0; i < b.N; i++ {
+			for _, r := range experiments.E08ConcatEndToEnd(benchParams(i)) {
+				invalid += float64(r.InvalidRounds)
+			}
 		}
-	}
-	b.ReportMetric(invalid, "invalid-rounds")
+		b.ReportMetric(invalid, "invalid-rounds")
+	})
+	// Large-N end-to-end: combined algorithms + T-dynamic checker at
+	// N=4096 under all four adversaries.
+	b.Run("N4096", func(b *testing.B) {
+		var invalid float64
+		for i := 0; i < b.N; i++ {
+			p := experiments.Params{Quick: true, Seed: uint64(i + 1), N: 4096}
+			for _, r := range experiments.E08ConcatEndToEnd(p) {
+				invalid += float64(r.InvalidRounds)
+			}
+		}
+		b.ReportMetric(invalid, "invalid-rounds")
+	})
 }
 
 func BenchmarkE09Baselines(b *testing.B) {

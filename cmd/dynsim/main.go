@@ -11,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -20,19 +22,48 @@ import (
 	"dynlocal/internal/stats"
 )
 
+// errFlagParse marks flag errors the FlagSet has already reported to
+// stderr, so main does not print them a second time.
+var errFlagParse = errors.New("flag parse error")
+
 func main() {
-	problem := flag.String("problem", "mis", "problem: mis | coloring")
-	algo := flag.String("algo", "combined", "algorithm: combined | dynamic | static | greedy | restart")
-	adversaryKind := flag.String("adversary", "churn", "adversary: static | churn | markov")
-	n := flag.Int("n", 512, "number of nodes")
-	rounds := flag.Int("rounds", 200, "rounds to simulate")
-	churn := flag.Int("churn", 8, "edges inserted+deleted per round (churn adversary)")
-	flap := flag.Float64("flap", 0.05, "per-edge flip probability (markov adversary)")
-	avgDeg := flag.Float64("deg", 8, "average degree of the base graph")
-	seed := flag.Uint64("seed", 1, "random seed")
-	every := flag.Int("every", 10, "print a row every k rounds")
-	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
-	flag.Parse()
+	invalidRounds, strict, err := run(os.Args[1:], os.Stdout)
+	switch {
+	case errors.Is(err, flag.ErrHelp):
+		return
+	case errors.Is(err, errFlagParse):
+		os.Exit(2)
+	case err != nil:
+		log.Fatal(err)
+	}
+	if invalidRounds > 0 && strict {
+		os.Exit(1)
+	}
+}
+
+// run executes one simulation and reports the number of invalid rounds
+// plus whether that should fail the process (the combined and restart
+// algorithms promise zero invalid rounds). Factored out of main so smoke
+// tests can drive the full CLI path.
+func run(args []string, out io.Writer) (invalidRounds int, strict bool, err error) {
+	fs := flag.NewFlagSet("dynsim", flag.ContinueOnError)
+	problem := fs.String("problem", "mis", "problem: mis | coloring")
+	algo := fs.String("algo", "combined", "algorithm: combined | dynamic | static | greedy | restart")
+	adversaryKind := fs.String("adversary", "churn", "adversary: static | churn | markov")
+	n := fs.Int("n", 512, "number of nodes")
+	rounds := fs.Int("rounds", 200, "rounds to simulate")
+	churn := fs.Int("churn", 8, "edges inserted+deleted per round (churn adversary)")
+	flap := fs.Float64("flap", 0.05, "per-edge flip probability (markov adversary)")
+	avgDeg := fs.Float64("deg", 8, "average degree of the base graph")
+	seed := fs.Uint64("seed", 1, "random seed")
+	every := fs.Int("every", 10, "print a row every k rounds")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0, false, err
+		}
+		return 0, false, fmt.Errorf("%w: %v", errFlagParse, err)
+	}
 
 	base := dynlocal.GNP(*n, *avgDeg/float64(*n), *seed)
 
@@ -59,7 +90,7 @@ func main() {
 			c := dynlocal.NewRestartMIS(*n)
 			algorithm, window = c, c.T1
 		default:
-			log.Fatalf("unknown -algo %q for mis", *algo)
+			return 0, false, fmt.Errorf("unknown -algo %q for mis", *algo)
 		}
 	case "coloring":
 		pc = dynlocal.ColoringProblem()
@@ -77,10 +108,10 @@ func main() {
 			c := dynlocal.NewColoring(*n)
 			algorithm, window = dynlocal.NewGreedyRepairColoring(*n), c.T1
 		default:
-			log.Fatalf("unknown -algo %q for coloring", *algo)
+			return 0, false, fmt.Errorf("unknown -algo %q for coloring", *algo)
 		}
 	default:
-		log.Fatalf("unknown -problem %q", *problem)
+		return 0, false, fmt.Errorf("unknown -problem %q", *problem)
 	}
 
 	var adv dynlocal.Adversary
@@ -92,14 +123,13 @@ func main() {
 	case "markov":
 		adv = dynlocal.NewEdgeMarkov(base, *flap, *flap, *seed+1)
 	default:
-		log.Fatalf("unknown -adversary %q", *adversaryKind)
+		return 0, false, fmt.Errorf("unknown -adversary %q", *adversaryKind)
 	}
 
 	eng := dynlocal.NewEngine(dynlocal.EngineConfig{N: *n, Seed: *seed}, adv, algorithm)
 	check := dynlocal.NewTDynamicChecker(pc, window, *n)
 
 	table := stats.NewTable("round", "outputs", "core", "invalid?", "packViol", "coverViol", "msgs")
-	invalidRounds := 0
 	eng.OnRound(func(info *dynlocal.RoundInfo) {
 		rep := check.Observe(info.Graph, info.Wake, info.Outputs)
 		if !rep.Valid() {
@@ -119,15 +149,13 @@ func main() {
 	})
 	eng.Run(*rounds)
 
-	fmt.Printf("%s / %s / %s: n=%d, window T=%d, %d rounds\n\n",
+	fmt.Fprintf(out, "%s / %s / %s: n=%d, window T=%d, %d rounds\n\n",
 		*problem, *algo, *adversaryKind, *n, window, *rounds)
 	if *csv {
-		table.CSV(os.Stdout)
+		table.CSV(out)
 	} else {
-		table.Render(os.Stdout)
+		table.Render(out)
 	}
-	fmt.Printf("\ninvalid rounds: %d / %d\n", invalidRounds, *rounds)
-	if invalidRounds > 0 && (*algo == "combined" || *algo == "restart") {
-		os.Exit(1)
-	}
+	fmt.Fprintf(out, "\ninvalid rounds: %d / %d\n", invalidRounds, *rounds)
+	return invalidRounds, *algo == "combined" || *algo == "restart", nil
 }

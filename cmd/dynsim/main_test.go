@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Smoke tests drive the full CLI run path on tiny configurations.
+
+func TestRunCombinedMISUnderChurn(t *testing.T) {
+	var out strings.Builder
+	invalid, strict, err := run([]string{
+		"-problem", "mis", "-algo", "combined", "-adversary", "churn",
+		"-n", "64", "-rounds", "60", "-churn", "2", "-every", "20",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strict {
+		t.Fatal("combined algorithm must be strict about invalid rounds")
+	}
+	if invalid != 0 {
+		t.Fatalf("combined MIS produced %d invalid rounds:\n%s", invalid, out.String())
+	}
+	if !strings.Contains(out.String(), "mis / combined / churn") {
+		t.Fatalf("missing header in output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "invalid rounds: 0 / 60") {
+		t.Fatalf("missing verdict in output:\n%s", out.String())
+	}
+}
+
+func TestRunColoringCSV(t *testing.T) {
+	var out strings.Builder
+	_, strict, err := run([]string{
+		"-problem", "coloring", "-algo", "greedy", "-adversary", "static",
+		"-n", "32", "-rounds", "10", "-csv",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict {
+		t.Fatal("greedy baseline must not be strict")
+	}
+	if !strings.Contains(out.String(), "round,outputs,core") {
+		t.Fatalf("missing CSV header:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsUnknownFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-problem", "nosuch"},
+		{"-problem", "mis", "-algo", "nosuch", "-n", "16", "-rounds", "1"},
+		{"-adversary", "nosuch", "-n", "16", "-rounds", "1"},
+	} {
+		if _, _, err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

@@ -11,8 +11,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log"
 	"os"
 	"strings"
 	"time"
@@ -21,11 +24,36 @@ import (
 	"dynlocal/internal/stats"
 )
 
+// errFlagParse marks flag errors the FlagSet has already reported to
+// stderr, so main does not print them a second time.
+var errFlagParse = errors.New("flag parse error")
+
 func main() {
-	quick := flag.Bool("quick", false, "reduced sweeps")
-	runFilter := flag.String("run", "", "only run experiments whose id contains this substring")
-	seed := flag.Uint64("seed", 0, "seed (0 = default)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		switch {
+		case errors.Is(err, flag.ErrHelp):
+			return
+		case errors.Is(err, errFlagParse):
+			os.Exit(2)
+		default:
+			log.Fatal(err)
+		}
+	}
+}
+
+// run executes the selected experiments. Factored out of main so smoke
+// tests can drive the full CLI path.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced sweeps")
+	runFilter := fs.String("run", "", "only run experiments whose id contains this substring")
+	seed := fs.Uint64("seed", 0, "seed (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errFlagParse, err)
+	}
 
 	p := experiments.Params{Quick: *quick, Seed: *seed}
 
@@ -34,147 +62,148 @@ func main() {
 		run       func()
 	}
 	all := []experiment{
-		{"E01", "DColor convergence = O(log n) for any dynamic graph (Lemma 4.4 / Cor. 1.2)", func() { printConvergence(experiments.E01DColorConvergence(p)) }},
-		{"E02", "conflicts from inserted edges resolve within T; never against old neighbors (Cor. 1.2)", func() { printConflicts(experiments.E02ConflictResolution(p)) }},
-		{"E03", "locally static ⇒ output frozen after T1+T2 (Theorem 1.1(2))", func() { printStability(experiments.E03LocalStability(p)) }},
-		{"E04", "uncolored nodes: colored w.p. ≥ 1/64 or palette shrinks 1/4 (Lemmas 4.3/6.1)", func() { printProgress(experiments.E04ColoringProgress(p)) }},
-		{"E05", "DMis undecided-edge decay ≤ 2/3 per 2 rounds (Lemma 5.2)", func() { printDecay(experiments.E05MISEdgeDecay(p)) }},
-		{"E06", "DMis convergence = O(log n) (Lemma 5.4 / Cor. 1.3)", func() { printConvergence(experiments.E06DMisConvergence(p)) }},
-		{"E07", "SMis decides static-2-ball nodes in O(log n), never revisits (Lemma 5.6)", func() { printStaticBall(experiments.E07SMisStaticBall(p)) }},
-		{"E08", "Concat outputs a T-dynamic solution EVERY round (Theorem 1.1(1))", func() { printEndToEnd(experiments.E08ConcatEndToEnd(p)) }},
-		{"E09", "recovery baselines lose validity under churn; restart flickers (Section 1)", func() { printBaselines(experiments.E09Baselines(p)) }},
-		{"E10", "window size: T below the static lower bound ⇒ violations (Section 1.1)", func() { printWindowSweep(experiments.E10WindowSweep(p)) }},
-		{"E11", "δ-fraction windows interpolate union → intersection (Section 7.2)", func() { printDelta(experiments.E11DeltaWindows(p)) }},
-		{"E12", "messages stay poly log n bits (Section 2 remark)", func() { printBits(experiments.E12MessageBits(p)) }},
-		{"E13", "adaptive-offline adversary voids DMis's guarantees (remark after Lemma 5.2)", func() { printClairvoyant(experiments.E13Clairvoyant(p)) }},
-		{"E14", "asynchronous wake-up preserves all guarantees (Section 2/7.2)", func() { printAsync(experiments.E14AsyncWakeup(p)) }},
-		{"E15", "engine throughput and worker scaling", func() { printScaling(experiments.E15EngineScaling(p)) }},
+		{"E01", "DColor convergence = O(log n) for any dynamic graph (Lemma 4.4 / Cor. 1.2)", func() { printConvergence(out, experiments.E01DColorConvergence(p)) }},
+		{"E02", "conflicts from inserted edges resolve within T; never against old neighbors (Cor. 1.2)", func() { printConflicts(out, experiments.E02ConflictResolution(p)) }},
+		{"E03", "locally static ⇒ output frozen after T1+T2 (Theorem 1.1(2))", func() { printStability(out, experiments.E03LocalStability(p)) }},
+		{"E04", "uncolored nodes: colored w.p. ≥ 1/64 or palette shrinks 1/4 (Lemmas 4.3/6.1)", func() { printProgress(out, experiments.E04ColoringProgress(p)) }},
+		{"E05", "DMis undecided-edge decay ≤ 2/3 per 2 rounds (Lemma 5.2)", func() { printDecay(out, experiments.E05MISEdgeDecay(p)) }},
+		{"E06", "DMis convergence = O(log n) (Lemma 5.4 / Cor. 1.3)", func() { printConvergence(out, experiments.E06DMisConvergence(p)) }},
+		{"E07", "SMis decides static-2-ball nodes in O(log n), never revisits (Lemma 5.6)", func() { printStaticBall(out, experiments.E07SMisStaticBall(p)) }},
+		{"E08", "Concat outputs a T-dynamic solution EVERY round (Theorem 1.1(1))", func() { printEndToEnd(out, experiments.E08ConcatEndToEnd(p)) }},
+		{"E09", "recovery baselines lose validity under churn; restart flickers (Section 1)", func() { printBaselines(out, experiments.E09Baselines(p)) }},
+		{"E10", "window size: T below the static lower bound ⇒ violations (Section 1.1)", func() { printWindowSweep(out, experiments.E10WindowSweep(p)) }},
+		{"E11", "δ-fraction windows interpolate union → intersection (Section 7.2)", func() { printDelta(out, experiments.E11DeltaWindows(p)) }},
+		{"E12", "messages stay poly log n bits (Section 2 remark)", func() { printBits(out, experiments.E12MessageBits(p)) }},
+		{"E13", "adaptive-offline adversary voids DMis's guarantees (remark after Lemma 5.2)", func() { printClairvoyant(out, experiments.E13Clairvoyant(p)) }},
+		{"E14", "asynchronous wake-up preserves all guarantees (Section 2/7.2)", func() { printAsync(out, experiments.E14AsyncWakeup(p)) }},
+		{"E15", "engine throughput and worker scaling", func() { printScaling(out, experiments.E15EngineScaling(p)) }},
 	}
 
 	for _, ex := range all {
 		if *runFilter != "" && !strings.Contains(ex.id, *runFilter) {
 			continue
 		}
-		fmt.Printf("=== %s: %s\n\n", ex.id, ex.title)
+		fmt.Fprintf(out, "=== %s: %s\n\n", ex.id, ex.title)
 		start := time.Now()
 		ex.run()
-		fmt.Printf("\n    (%.1fs)\n\n", time.Since(start).Seconds())
+		fmt.Fprintf(out, "\n    (%.1fs)\n\n", time.Since(start).Seconds())
 	}
+	return nil
 }
 
-func printConvergence(res experiments.ConvergenceResult) {
+func printConvergence(out io.Writer, res experiments.ConvergenceResult) {
 	t := stats.NewTable("adversary", "n", "window T", "mean", "p90", "max")
 	for _, pt := range res.Points {
 		t.AddRow(string(pt.Adversary), pt.N, pt.Window, pt.Rounds.Mean, pt.Rounds.P90, pt.Rounds.Max)
 	}
-	t.Render(os.Stdout)
-	fmt.Printf("\n    static-series fit: rounds ≈ %.2f·log2(n) + %.2f  (R²=%.3f)\n",
+	t.Render(out)
+	fmt.Fprintf(out, "\n    static-series fit: rounds ≈ %.2f·log2(n) + %.2f  (R²=%.3f)\n",
 		res.Fit.Slope, res.Fit.Intercept, res.Fit.R2)
 }
 
-func printConflicts(res experiments.ConflictResolutionResult) {
-	fmt.Printf("    n=%d  window T=%d  injected conflict edges: %d\n", res.N, res.Window, res.Injected)
-	fmt.Printf("    resolution rounds: mean %.1f  p90 %.0f  max %.0f  (bound: T=%d)\n",
+func printConflicts(out io.Writer, res experiments.ConflictResolutionResult) {
+	fmt.Fprintf(out, "    n=%d  window T=%d  injected conflict edges: %d\n", res.N, res.Window, res.Injected)
+	fmt.Fprintf(out, "    resolution rounds: mean %.1f  p90 %.0f  max %.0f  (bound: T=%d)\n",
 		res.ResolutionRounds.Mean, res.ResolutionRounds.P90, res.ResolutionRounds.Max, res.Window)
-	fmt.Printf("    unresolved past T: %d (paper: 0)\n", res.Unresolved)
-	fmt.Printf("    conflicts against intersection-graph neighbors: %d (paper: 0)\n", res.StaleConflictRound)
+	fmt.Fprintf(out, "    unresolved past T: %d (paper: 0)\n", res.Unresolved)
+	fmt.Fprintf(out, "    conflicts against intersection-graph neighbors: %d (paper: 0)\n", res.StaleConflictRound)
 }
 
-func printStability(results []experiments.StabilityResult) {
+func printStability(out io.Writer, results []experiments.StabilityResult) {
 	t := stats.NewTable("problem", "n", "wait T1+T2", "protChanges", "protBot", "unprotChanges")
 	for _, r := range results {
 		t.AddRow(r.Problem, r.N, r.Wait, r.ProtectedChanges, r.ProtectedBot, r.UnprotectedChanges)
 	}
-	t.Render(os.Stdout)
-	fmt.Println("\n    protChanges and protBot must be 0; unprotChanges > 0 shows churn was live")
+	t.Render(out)
+	fmt.Fprintln(out, "\n    protChanges and protBot must be 0; unprotChanges > 0 shows churn was live")
 }
 
-func printProgress(results []experiments.ProgressResult) {
+func printProgress(out io.Writer, results []experiments.ProgressResult) {
 	t := stats.NewTable("algorithm", "slow node-rounds", "colored", "empirical P", "bound 1/64")
 	for _, r := range results {
 		t.AddRow(r.Algorithm, r.SlowRounds, r.SlowColored, r.EmpiricalProb, r.Bound)
 	}
-	t.Render(os.Stdout)
+	t.Render(out)
 }
 
-func printDecay(results []experiments.DecayResult) {
+func printDecay(out io.Writer, results []experiments.DecayResult) {
 	t := stats.NewTable("adversary", "n", "samples", "mean decay", "p90 decay", "bound")
 	for _, r := range results {
 		t.AddRow(string(r.Adversary), r.N, r.Samples, r.MeanDecay, r.P90Decay, r.Bound)
 	}
-	t.Render(os.Stdout)
+	t.Render(out)
 }
 
-func printStaticBall(results []experiments.StaticBallResult) {
+func printStaticBall(out io.Writer, results []experiments.StaticBallResult) {
 	t := stats.NewTable("n", "decide mean", "decide p90", "decide max", "changesAfter", "undecided")
 	for _, r := range results {
 		t.AddRow(r.N, r.DecideRounds.Mean, r.DecideRounds.P90, r.DecideRounds.Max,
 			r.ChangesAfter, r.UndecidedAtEnd)
 	}
-	t.Render(os.Stdout)
+	t.Render(out)
 }
 
-func printEndToEnd(results []experiments.EndToEndResult) {
+func printEndToEnd(out io.Writer, results []experiments.EndToEndResult) {
 	t := stats.NewTable("problem", "adversary", "n", "window", "rounds", "invalid", "violations")
 	for _, r := range results {
 		t.AddRow(r.Problem, string(r.Adversary), r.N, r.Window, r.Rounds, r.InvalidRounds, r.Violations)
 	}
-	t.Render(os.Stdout)
+	t.Render(out)
 }
 
-func printBaselines(results []experiments.BaselineResult) {
+func printBaselines(out io.Writer, results []experiments.BaselineResult) {
 	t := stats.NewTable("algorithm", "churn/round", "invalid frac", "output churn")
 	for _, r := range results {
 		t.AddRow(r.Algorithm, r.ChurnPerRound, r.InvalidFrac, r.OutputChurn)
 	}
-	t.Render(os.Stdout)
+	t.Render(out)
 }
 
-func printWindowSweep(results []experiments.WindowSweepResult) {
+func printWindowSweep(out io.Writer, results []experiments.WindowSweepResult) {
 	t := stats.NewTable("window T", "default T*", "invalid frac", "⊥-core rounds")
 	for _, r := range results {
 		t.AddRow(r.Window, r.DefaultWindow, r.InvalidFrac, r.BotCoreRounds)
 	}
-	t.Render(os.Stdout)
+	t.Render(out)
 }
 
-func printDelta(results []experiments.DeltaWindowResult) {
+func printDelta(out io.Writer, results []experiments.DeltaWindowResult) {
 	t := stats.NewTable("delta", "mean |E(G^δT)|", "conflicts")
 	for _, r := range results {
 		t.AddRow(r.Delta, r.MeanEdges, r.Conflicts)
 	}
-	t.Render(os.Stdout)
+	t.Render(out)
 }
 
-func printBits(results []experiments.MessageBitsResult) {
+func printBits(out io.Writer, results []experiments.MessageBitsResult) {
 	t := stats.NewTable("algorithm", "n", "log2 n", "bits/msg")
 	for _, r := range results {
 		t.AddRow(r.Algorithm, r.N, r.Log2N, r.BitsPerMsg)
 	}
-	t.Render(os.Stdout)
+	t.Render(out)
 }
 
-func printClairvoyant(r experiments.ClairvoyantResult) {
+func printClairvoyant(out io.Writer, r experiments.ClairvoyantResult) {
 	t := stats.NewTable("adversary", "rounds", "|M|", "dominated", "notes")
 	t.AddRow("2-oblivious", r.ObliviousRounds, r.ObliviousMISSize, r.ObliviousDominated, "proper MIS")
 	t.AddRow("adaptive-offline", r.ClairvoyantRounds, r.ClairvoyantMISSize, r.ClairvoyantDominated,
 		fmt.Sprintf("burned %d edges, %d base-graph violations", r.EdgesBurned, r.BaseViolations))
-	t.Render(os.Stdout)
-	fmt.Println("\n    P[(v→w)_r] = 0 under the seed-reading adversary: dominations never happen")
+	t.Render(out)
+	fmt.Fprintln(out, "\n    P[(v→w)_r] = 0 under the seed-reading adversary: dominations never happen")
 }
 
-func printAsync(results []experiments.AsyncWakeupResult) {
+func printAsync(out io.Writer, results []experiments.AsyncWakeupResult) {
 	t := stats.NewTable("schedule/problem", "n", "rounds", "invalid", "final core")
 	for _, r := range results {
 		t.AddRow(r.Schedule, r.N, r.Rounds, r.InvalidRounds, r.FinalCore)
 	}
-	t.Render(os.Stdout)
+	t.Render(out)
 }
 
-func printScaling(results []experiments.ScalingResult) {
+func printScaling(out io.Writer, results []experiments.ScalingResult) {
 	t := stats.NewTable("n", "workers", "rounds", "seconds", "rounds/s", "node-rounds/s")
 	for _, r := range results {
 		t.AddRow(r.N, r.Workers, r.Rounds, r.Seconds, r.RoundsPerSec, r.NodeRoundsSec)
 	}
-	t.Render(os.Stdout)
+	t.Render(out)
 }

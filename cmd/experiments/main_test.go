@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Smoke test: drive the CLI run path on the cheapest experiment with quick
+// sweeps and check the report shape.
+func TestRunSingleExperimentQuick(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-run", "E13"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"=== E13", "adaptive-offline", "2-oblivious"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunFilterMatchesNothing(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "E99"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "===") {
+		t.Fatalf("filter E99 should run nothing, got:\n%s", out.String())
+	}
+}

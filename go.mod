@@ -1,0 +1,3 @@
+module dynlocal
+
+go 1.22

@@ -79,6 +79,8 @@ func (c *Churn) Step(v View) Step {
 			c.addRandom(&s)
 		}
 	}
+	// keys is duplicate-free by construction; FromEdges sorts a copy and
+	// assembles the CSR graph without touching the working set.
 	st.G = graph.FromEdges(c.n, c.keys)
 	return st
 }
@@ -94,15 +96,20 @@ type EdgeMarkov struct {
 	POff      float64
 	Seed      uint64
 
-	on      map[graph.EdgeKey]bool
+	// on[i] mirrors footprint edge keys[i]; iterating the slice (not a
+	// map) keeps the per-round coin order deterministic and allocation-free.
+	keys    []graph.EdgeKey
+	on      []bool
+	scratch []graph.EdgeKey
 	started bool
 }
 
 func (m *EdgeMarkov) init() {
-	m.on = make(map[graph.EdgeKey]bool)
-	m.Footprint.EachEdge(func(u, v graph.NodeID) {
-		m.on[graph.MakeEdgeKey(u, v)] = true
-	})
+	m.keys = m.Footprint.Edges()
+	m.on = make([]bool, len(m.keys))
+	for i := range m.on {
+		m.on[i] = true
+	}
 	m.started = true
 }
 
@@ -116,22 +123,24 @@ func (m *EdgeMarkov) Step(v View) Step {
 		st.Wake = AllNodes(m.Footprint.N())
 	} else {
 		s := advStream(m.Seed, v.Round())
-		for k, isOn := range m.on {
+		for i, isOn := range m.on {
 			if isOn {
 				if s.Bernoulli(m.POff) {
-					m.on[k] = false
+					m.on[i] = false
 				}
 			} else if s.Bernoulli(m.POn) {
-				m.on[k] = true
+				m.on[i] = true
 			}
 		}
 	}
-	b := graph.NewBuilder(m.Footprint.N())
-	for k, isOn := range m.on {
+	live := m.scratch[:0]
+	for i, isOn := range m.on {
 		if isOn {
-			b.AddEdgeKey(k)
+			live = append(live, m.keys[i])
 		}
 	}
-	st.G = b.Graph()
+	m.scratch = live
+	// keys is sorted (Edges order), so the live subsequence is too.
+	st.G = graph.FromSortedEdges(m.Footprint.N(), live)
 	return st
 }

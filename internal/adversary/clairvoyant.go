@@ -115,12 +115,13 @@ func (a *LubyStaller) Step(v View) Step {
 		}
 	}
 
-	b := graph.NewBuilder(n)
+	var keys []graph.EdgeKey
 	a.Base.EachEdge(func(x, y graph.NodeID) {
 		if !a.removed[graph.MakeEdgeKey(x, y)] {
-			b.AddEdge(x, y)
+			keys = append(keys, graph.MakeEdgeKey(x, y))
 		}
 	})
-	st.G = b.Graph()
+	// EachEdge visits edges in canonical order, so keys is sorted.
+	st.G = graph.FromSortedEdges(n, keys)
 	return st
 }

@@ -23,6 +23,7 @@ type LocalStatic struct {
 
 	frozen   []bool // node in B
 	baseEdge []graph.EdgeKey
+	scratch  []graph.EdgeKey
 	started  bool
 }
 
@@ -61,16 +62,18 @@ func (l *LocalStatic) Step(v View) Step {
 		l.init()
 	}
 	inner := l.Inner.Step(v)
-	b := graph.NewBuilder(l.Base.N())
+	// Surviving inner edges (no frozen endpoint) and frozen base edges
+	// (>= 1 frozen endpoint) are disjoint by construction; FromEdges
+	// sorts and dedups anyway.
+	keys := l.scratch[:0]
 	inner.G.EachEdge(func(x, y graph.NodeID) {
 		if !l.frozen[x] && !l.frozen[y] {
-			b.AddEdge(x, y)
+			keys = append(keys, graph.MakeEdgeKey(x, y))
 		}
 	})
-	for _, k := range l.baseEdge {
-		b.AddEdgeKey(k)
-	}
-	st := Step{G: b.Graph(), Wake: inner.Wake}
+	keys = append(keys, l.baseEdge...)
+	l.scratch = keys
+	st := Step{G: graph.FromEdges(l.Base.N(), keys), Wake: inner.Wake}
 	if v.Round() == 1 {
 		// The frozen zone must be awake from the start: its topology is
 		// pinned from round 1.
@@ -114,6 +117,7 @@ type ConflictInjector struct {
 
 	injected []graph.EdgeKey
 	have     map[graph.EdgeKey]bool
+	scratch  []graph.EdgeKey
 	// Injections records (round, edge) for experiment bookkeeping.
 	Injections []Injection
 }
@@ -166,10 +170,8 @@ func (ci *ConflictInjector) Step(v View) Step {
 	if len(ci.injected) == 0 {
 		return inner
 	}
-	b := graph.NewBuilder(inner.G.N())
-	inner.G.EachEdge(b.AddEdge)
-	for _, k := range ci.injected {
-		b.AddEdgeKey(k)
-	}
-	return Step{G: b.Graph(), Wake: inner.Wake}
+	keys := inner.G.AppendEdges(ci.scratch[:0])
+	keys = append(keys, ci.injected...)
+	ci.scratch = keys
+	return Step{G: graph.FromEdges(inner.G.N(), keys), Wake: inner.Wake}
 }

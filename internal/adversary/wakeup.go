@@ -14,7 +14,8 @@ type Wakeup struct {
 	Inner    Adversary
 	Schedule []int
 
-	awake []bool
+	awake   []bool
+	scratch []graph.EdgeKey
 }
 
 // Step implements Adversary.
@@ -31,13 +32,15 @@ func (w *Wakeup) Step(v View) Step {
 		}
 	}
 	inner := w.Inner.Step(v)
-	b := graph.NewBuilder(inner.G.N())
+	keys := w.scratch[:0]
 	inner.G.EachEdge(func(x, y graph.NodeID) {
 		if w.awake[x] && w.awake[y] {
-			b.AddEdge(x, y)
+			keys = append(keys, graph.MakeEdgeKey(x, y))
 		}
 	})
-	return Step{G: b.Graph(), Wake: wake}
+	w.scratch = keys
+	// EachEdge visits edges in canonical order, so keys is sorted.
+	return Step{G: graph.FromSortedEdges(inner.G.N(), keys), Wake: wake}
 }
 
 // StaggeredSchedule wakes perRound nodes per round in id order.

@@ -89,9 +89,14 @@ type dcolorNode struct {
 	f *DColorFactory
 	v graph.NodeID
 
-	out       problems.Value
-	pal       palette
-	known     map[graph.NodeID]struct{} // neighbors in G^{R∩}_r
+	out problems.Value
+	pal palette
+	// streak[u] is the last age at which u had broadcast in every round
+	// of this instance so far; u is an intersection-graph neighbor in the
+	// current round iff streak[u] == age-1. One map for the node's
+	// lifetime — the per-round intersection needs no allocation.
+	streak    map[graph.NodeID]int32
+	age       int32
 	started   bool
 	tentative int64
 }
@@ -121,13 +126,14 @@ func (d *dcolorNode) Broadcast(ctx *engine.Ctx, buf []engine.SubMsg) []engine.Su
 func (d *dcolorNode) Process(ctx *engine.Ctx, in []engine.Incoming, deg int) {
 	if !d.started {
 		// Start round: initialize the palette with [d_j(v)+1] minus the
-		// neighbors' input colors, and the intersection-neighbor set with
-		// the current neighbors.
+		// neighbors' input colors, and the intersection-neighbor streaks
+		// with the current neighbors.
 		d.started = true
-		d.known = make(map[graph.NodeID]struct{}, len(in))
+		d.streak = make(map[graph.NodeID]int32, len(in))
+		d.age = 1
 		d.pal = newPalette(deg + 1)
 		for _, m := range in {
-			d.known[m.From] = struct{}{}
+			d.streak[m.From] = 1
 			if d.out == problems.Bot && m.M.Kind == KindStart && m.M.A != 0 {
 				d.pal.remove(m.M.A)
 			}
@@ -139,13 +145,18 @@ func (d *dcolorNode) Process(ctx *engine.Ctx, in []engine.Incoming, deg int) {
 	removed := 0
 	wasUncolored := d.out == problems.Bot
 
-	// Restrict communication to the intersection graph: drop senders that
-	// have not been neighbors in every round since the start.
+	// Restrict communication to the intersection graph: a sender counts
+	// only if it has been a neighbor in every round since the start,
+	// i.e. its streak reaches the previous round (stale entries never
+	// match again, so no per-round set rebuild is needed).
+	prev := d.age
+	d.age++
 	tentativeClash := false
 	for _, m := range in {
-		if _, ok := d.known[m.From]; !ok {
+		if d.streak[m.From] != prev {
 			continue
 		}
+		d.streak[m.From] = prev + 1
 		switch m.M.Kind {
 		case KindFixed:
 			if d.pal.contains(m.M.A) {
@@ -158,15 +169,6 @@ func (d *dcolorNode) Process(ctx *engine.Ctx, in []engine.Incoming, deg int) {
 			}
 		}
 	}
-	// Update the intersection-neighbor set: keep only senders of this
-	// round. (All participating instance peers broadcast every round.)
-	newKnown := make(map[graph.NodeID]struct{}, len(d.known))
-	for _, m := range in {
-		if _, ok := d.known[m.From]; ok {
-			newKnown[m.From] = struct{}{}
-		}
-	}
-	d.known = newKnown
 
 	if wasUncolored {
 		if d.pal.contains(d.tentative) && !tentativeClash {

@@ -120,13 +120,16 @@ func (f *DMisFactory) NewNode(v graph.NodeID) core.NodeInstance {
 type dmisNode struct {
 	v graph.NodeID
 
-	out     problems.Value
-	known   map[graph.NodeID]struct{} // neighbors in G^{R∩}_r
-	started bool
-	age     int    // rounds processed
-	provD   bool   // Dominated input, not yet re-witnessed (rounds 1-2)
-	alpha   uint64 // this round's random word (valid while undecided)
-	mask    uint64 // alpha truncation mask (AlphaBits)
+	out problems.Value
+	// streak[u] is the last age at which u had broadcast in every round
+	// of this instance so far; u is an intersection-graph neighbor in the
+	// current round iff streak[u] == age-1. One map for the node's
+	// lifetime — the per-round intersection needs no allocation.
+	streak map[graph.NodeID]int32
+	age    int    // rounds processed
+	provD  bool   // Dominated input, not yet re-witnessed (rounds 1-2)
+	alpha  uint64 // this round's random word (valid while undecided)
+	mask   uint64 // alpha truncation mask (AlphaBits)
 }
 
 // Start records the input configuration (M, D); Algorithm 4 needs no
@@ -170,31 +173,23 @@ func less(a uint64, av graph.NodeID, b uint64, bv graph.NodeID) bool {
 // Process implements the receive half of Algorithm 4, restricted to the
 // intersection graph.
 func (d *dmisNode) Process(ctx *engine.Ctx, in []engine.Incoming, deg int) {
-	if !d.started {
+	if d.streak == nil {
 		// First executed round: the intersection graph is the current
 		// graph; senders are exactly the participating neighbors.
 		// (Dominated nodes are silent, but they also never influence
 		// anyone, so omitting them from the known set is harmless.)
-		d.started = true
-		d.known = make(map[graph.NodeID]struct{}, len(in))
-		for _, m := range in {
-			d.known[m.From] = struct{}{}
-		}
-	} else {
-		newKnown := make(map[graph.NodeID]struct{}, len(d.known))
-		for _, m := range in {
-			if _, ok := d.known[m.From]; ok {
-				newKnown[m.From] = struct{}{}
-			}
-		}
-		d.known = newKnown
+		d.streak = make(map[graph.NodeID]int32, len(in))
 	}
+	prev := int32(d.age)
 	mark := false
 	isMin := true
 	for _, m := range in {
-		if _, ok := d.known[m.From]; !ok {
+		// Intersection-neighbor test: the sender must have broadcast in
+		// every round so far (stale streak entries never match again).
+		if prev > 0 && d.streak[m.From] != prev {
 			continue
 		}
+		d.streak[m.From] = prev + 1
 		switch m.M.Kind {
 		case KindMark:
 			mark = true

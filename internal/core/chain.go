@@ -85,7 +85,11 @@ type chainProc struct {
 	salg NodeInstance
 	mids []dSlot
 	outs []dSlot
-	buck []engine.Incoming
+	// ictx and bucks: see concatProc — reusable callback context (a stack
+	// copy would heap-escape per instance call) and one-pass channel demux
+	// buffers (slot 0 = SAlg, then mids, then outs).
+	ictx  engine.Ctx
+	bucks [][]engine.Incoming
 }
 
 func (p *chainProc) Start(ctx *engine.Ctx, input problems.Value) {
@@ -116,9 +120,9 @@ func (p *chainProc) Broadcast(ctx *engine.Ctx, buf []engine.SubMsg) []engine.Sub
 	// Start this round's mid instance on the static algorithm's output.
 	midCh := int32(2 * ctx.Round)
 	mi := p.c.Mid.NewNode(p.v)
-	mctx := *ctx
-	mctx.PurposeBase = dalgPurpose(midCh)
-	mi.Start(&mctx, p.salg.Output())
+	p.ictx = *ctx
+	p.ictx.PurposeBase = dalgPurpose(midCh)
+	mi.Start(&p.ictx, p.salg.Output())
 	p.mids = append(p.mids, dSlot{ch: midCh, inst: mi})
 	if len(p.mids) > p.c.Tm-1 {
 		p.mids = p.mids[1:]
@@ -127,29 +131,29 @@ func (p *chainProc) Broadcast(ctx *engine.Ctx, buf []engine.SubMsg) []engine.Sub
 	// Start this round's outer instance on the mid-pipeline output.
 	outCh := int32(2*ctx.Round + 1)
 	oi := p.c.D.NewNode(p.v)
-	octx := *ctx
-	octx.PurposeBase = dalgPurpose(outCh)
-	oi.Start(&octx, midPrev)
+	p.ictx = *ctx
+	p.ictx.PurposeBase = dalgPurpose(outCh)
+	oi.Start(&p.ictx, midPrev)
 	p.outs = append(p.outs, dSlot{ch: outCh, inst: oi})
 	if len(p.outs) > p.c.T1-1 {
 		p.outs = p.outs[1:]
 	}
 
 	// Broadcast all three layers with channel tags.
-	sctx := *ctx
-	sctx.PurposeBase = instancePurpose(0)
+	p.ictx = *ctx
+	p.ictx.PurposeBase = instancePurpose(0)
 	start := len(buf)
-	buf = p.salg.Broadcast(&sctx, buf)
+	buf = p.salg.Broadcast(&p.ictx, buf)
 	for i := start; i < len(buf); i++ {
 		buf[i].Chan = 0
 	}
 	for _, ring := range [][]dSlot{p.mids, p.outs} {
 		for i := range ring {
 			s := &ring[i]
-			ictx := *ctx
-			ictx.PurposeBase = dalgPurpose(s.ch)
+			p.ictx = *ctx
+			p.ictx.PurposeBase = dalgPurpose(s.ch)
 			start = len(buf)
-			buf = s.inst.Broadcast(&ictx, buf)
+			buf = s.inst.Broadcast(&p.ictx, buf)
 			for j := start; j < len(buf); j++ {
 				buf[j].Chan = s.ch
 			}
@@ -159,16 +163,19 @@ func (p *chainProc) Broadcast(ctx *engine.Ctx, buf []engine.SubMsg) []engine.Sub
 }
 
 func (p *chainProc) Process(ctx *engine.Ctx, in []engine.Incoming, deg int) {
-	sctx := *ctx
-	sctx.PurposeBase = instancePurpose(0)
-	p.salg.Process(&sctx, p.filter(in, 0), deg)
+	bucks := p.demux(in)
+	p.ictx = *ctx
+	p.ictx.PurposeBase = instancePurpose(0)
+	p.salg.Process(&p.ictx, bucks[0], deg)
+	slot := 1
 	for _, ring := range [][]dSlot{p.mids, p.outs} {
 		for i := range ring {
 			s := &ring[i]
-			ictx := *ctx
-			ictx.PurposeBase = dalgPurpose(s.ch)
-			s.inst.Process(&ictx, p.filter(in, s.ch), deg)
+			p.ictx = *ctx
+			p.ictx.PurposeBase = dalgPurpose(s.ch)
+			s.inst.Process(&p.ictx, bucks[slot], deg)
 			s.age++
+			slot++
 		}
 	}
 	if p.c.MidProbe != nil {
@@ -176,15 +183,42 @@ func (p *chainProc) Process(ctx *engine.Ctx, in []engine.Incoming, deg int) {
 	}
 }
 
-func (p *chainProc) filter(in []engine.Incoming, ch int32) []engine.Incoming {
-	out := p.buck[:0]
+// demux splits the inbox by channel into reused per-slot buffers: slot 0
+// for SAlg, slots 1..len(mids) for the mid pipeline (even channels
+// 2r), the rest for the outer pipeline (odd channels 2r+1). Both rings
+// hold consecutive rounds, so slot lookup is an offset.
+func (p *chainProc) demux(in []engine.Incoming) [][]engine.Incoming {
+	nb := 1 + len(p.mids) + len(p.outs)
+	for len(p.bucks) < nb {
+		p.bucks = append(p.bucks, nil)
+	}
+	bucks := p.bucks[:nb]
+	for i := range bucks {
+		bucks[i] = bucks[i][:0]
+	}
+	var midBase, outBase int32
+	if len(p.mids) > 0 {
+		midBase = p.mids[0].ch
+	}
+	if len(p.outs) > 0 {
+		outBase = p.outs[0].ch
+	}
 	for _, m := range in {
-		if m.M.Chan == ch {
-			out = append(out, m)
+		ch := m.M.Chan
+		switch {
+		case ch == 0:
+			bucks[0] = append(bucks[0], m)
+		case ch&1 == 0:
+			if idx := int(ch-midBase) / 2; idx >= 0 && idx < len(p.mids) && p.mids[idx].ch == ch {
+				bucks[1+idx] = append(bucks[1+idx], m)
+			}
+		default:
+			if idx := int(ch-outBase) / 2; idx >= 0 && idx < len(p.outs) && p.outs[idx].ch == ch {
+				bucks[1+len(p.mids)+idx] = append(bucks[1+len(p.mids)+idx], m)
+			}
 		}
 	}
-	p.buck = out[:0]
-	return out
+	return bucks
 }
 
 // Output is the oldest mature outer instance, as in Algorithm 1.

@@ -92,7 +92,14 @@ type concatProc struct {
 	v    graph.NodeID
 	salg NodeInstance
 	dal  []dSlot // front = oldest
-	buck []engine.Incoming
+	// ictx is the reusable context handed to instance callbacks: passing
+	// a fresh stack copy through the NodeInstance interface would escape
+	// to the heap on every call — one allocation per instance per round.
+	// Instances must not retain the pointer beyond the call (they don't).
+	ictx engine.Ctx
+	// bucks demultiplexes the inbox by channel in one pass: bucks[0] is
+	// SAlg's, bucks[1+i] belongs to dal[i]. Buffers are reused per round.
+	bucks [][]engine.Incoming
 }
 
 // dalgPurpose derives the purpose base of a dynamic instance channel,
@@ -115,9 +122,9 @@ func (p *concatProc) Broadcast(ctx *engine.Ctx, buf []engine.SubMsg) []engine.Su
 	// SAlg output.
 	ch := int32(ctx.Round)
 	inst := p.c.D.NewNode(p.v)
-	dctx := *ctx
-	dctx.PurposeBase = dalgPurpose(ch)
-	inst.Start(&dctx, p.salg.Output())
+	p.ictx = *ctx
+	p.ictx.PurposeBase = dalgPurpose(ch)
+	inst.Start(&p.ictx, p.salg.Output())
 	p.dal = append(p.dal, dSlot{ch: ch, inst: inst})
 	// Lines 2-3: cap the pipeline at T1-1 live instances.
 	if len(p.dal) > p.c.T1-1 {
@@ -125,20 +132,20 @@ func (p *concatProc) Broadcast(ctx *engine.Ctx, buf []engine.SubMsg) []engine.Su
 	}
 
 	// SAlg sub-messages on channel 0.
-	sctx := *ctx
-	sctx.PurposeBase = instancePurpose(0)
+	p.ictx = *ctx
+	p.ictx.PurposeBase = instancePurpose(0)
 	start := len(buf)
-	buf = p.salg.Broadcast(&sctx, buf)
+	buf = p.salg.Broadcast(&p.ictx, buf)
 	for i := start; i < len(buf); i++ {
 		buf[i].Chan = 0
 	}
 	// Each live DAlg instance on its channel.
 	for i := range p.dal {
 		s := &p.dal[i]
-		ictx := *ctx
-		ictx.PurposeBase = dalgPurpose(s.ch)
+		p.ictx = *ctx
+		p.ictx.PurposeBase = dalgPurpose(s.ch)
 		start = len(buf)
-		buf = s.inst.Broadcast(&ictx, buf)
+		buf = s.inst.Broadcast(&p.ictx, buf)
 		for j := start; j < len(buf); j++ {
 			buf[j].Chan = s.ch
 		}
@@ -147,31 +154,48 @@ func (p *concatProc) Broadcast(ctx *engine.Ctx, buf []engine.SubMsg) []engine.Su
 }
 
 func (p *concatProc) Process(ctx *engine.Ctx, in []engine.Incoming, deg int) {
-	// Route channel 0 to SAlg.
-	sctx := *ctx
-	sctx.PurposeBase = instancePurpose(0)
-	p.salg.Process(&sctx, p.filter(in, 0), deg)
-	// Route each instance channel.
+	// One-pass demux of the inbox: live channels are the consecutive
+	// engine rounds dal[0].ch … dal[0].ch+len(dal)-1, so the slot index
+	// is an offset — no per-instance rescan of the inbox.
+	bucks := p.demux(in)
+	p.ictx = *ctx
+	p.ictx.PurposeBase = instancePurpose(0)
+	p.salg.Process(&p.ictx, bucks[0], deg)
 	for i := range p.dal {
 		s := &p.dal[i]
-		ictx := *ctx
-		ictx.PurposeBase = dalgPurpose(s.ch)
-		s.inst.Process(&ictx, p.filter(in, s.ch), deg)
+		p.ictx = *ctx
+		p.ictx.PurposeBase = dalgPurpose(s.ch)
+		s.inst.Process(&p.ictx, bucks[1+i], deg)
 		s.age++
 	}
 }
 
-// filter extracts the sub-messages of one channel, reusing the proc's
-// scratch buffer (valid until the next filter call).
-func (p *concatProc) filter(in []engine.Incoming, ch int32) []engine.Incoming {
-	out := p.buck[:0]
+// demux splits the inbox by channel into reused per-slot buffers:
+// slot 0 for SAlg, slot 1+i for dal[i].
+func (p *concatProc) demux(in []engine.Incoming) [][]engine.Incoming {
+	nb := 1 + len(p.dal)
+	for len(p.bucks) < nb {
+		p.bucks = append(p.bucks, nil)
+	}
+	bucks := p.bucks[:nb]
+	for i := range bucks {
+		bucks[i] = bucks[i][:0]
+	}
+	var base int32
+	if len(p.dal) > 0 {
+		base = p.dal[0].ch
+	}
 	for _, m := range in {
-		if m.M.Chan == ch {
-			out = append(out, m)
+		ch := m.M.Chan
+		if ch == 0 {
+			bucks[0] = append(bucks[0], m)
+			continue
+		}
+		if idx := int(ch - base); idx >= 0 && idx < len(p.dal) && p.dal[idx].ch == ch {
+			bucks[1+idx] = append(bucks[1+idx], m)
 		}
 	}
-	p.buck = out[:0]
-	return out
+	return bucks
 }
 
 // Output implements line 7 of Algorithm 1: the output of the oldest live

@@ -18,11 +18,12 @@ import (
 // limited to 64 rounds, which is not a practical restriction since the
 // paper's windows are T = O(log n).
 type FracWindow struct {
-	t     int
-	n     int
-	round int
-	mask  map[graph.EdgeKey]uint64
-	wake  []int
+	t       int
+	n       int
+	round   int
+	mask    map[graph.EdgeKey]uint64
+	wake    []int
+	scratch []graph.EdgeKey // reused by Graph materialization
 }
 
 // NewFracWindow creates a δ-fraction window of size 1 <= t <= 64.
@@ -100,13 +101,14 @@ func (w *FracWindow) Graph(delta float64) *graph.Graph {
 		panic(fmt.Sprintf("dyngraph: delta %v outside (0,1]", delta))
 	}
 	th := w.threshold(delta)
-	b := graph.NewBuilder(w.n)
+	keys := w.scratch[:0]
 	for k, m := range w.mask {
 		if bits.OnesCount64(m) >= th {
-			b.AddEdgeKey(k)
+			keys = append(keys, k)
 		}
 	}
-	return b.Graph()
+	w.scratch = keys
+	return graph.FromEdges(w.n, keys)
 }
 
 // CoreNodes returns the nodes awake throughout the window, as for Window

@@ -35,6 +35,7 @@ type Window struct {
 	spans     map[graph.EdgeKey]edgeSpan
 	wake      []int // wake[v] = round v woke up, 0 if still asleep
 	lastPurge int
+	scratch   []graph.EdgeKey // reused by graph materialization
 }
 
 // NewWindow creates a window of size t >= 1 over a node universe of size n.
@@ -163,36 +164,39 @@ func (w *Window) InUnion(u, v graph.NodeID) bool {
 	return ok && sp.lastSeen >= r0
 }
 
-// IntersectionGraph materializes G^∩T_r (empty before round T).
+// IntersectionGraph materializes G^∩T_r (empty before round T). The key
+// scratch buffer is reused across calls; the returned graph is fresh.
 func (w *Window) IntersectionGraph() *graph.Graph {
-	b := graph.NewBuilder(w.n)
 	if w.round < w.t {
-		return b.Graph()
+		return graph.Empty(w.n)
 	}
 	r0 := w.windowStart()
+	keys := w.scratch[:0]
 	for k, sp := range w.spans {
 		if sp.lastSeen == w.round && sp.streakStart <= r0 {
-			b.AddEdgeKey(k)
+			keys = append(keys, k)
 		}
 	}
-	return b.Graph()
+	w.scratch = keys
+	return graph.FromEdges(w.n, keys)
 }
 
 // UnionGraph materializes G^∪T_r (all edges seen within the window; the
 // covering checker evaluates it on CoreNodes, matching Definition 2.1's
 // vertex set V^∩T_r).
 func (w *Window) UnionGraph() *graph.Graph {
-	b := graph.NewBuilder(w.n)
 	r0 := w.windowStart()
 	if r0 < 1 {
 		r0 = 1
 	}
+	keys := w.scratch[:0]
 	for k, sp := range w.spans {
 		if sp.lastSeen >= r0 {
-			b.AddEdgeKey(k)
+			keys = append(keys, k)
 		}
 	}
-	return b.Graph()
+	w.scratch = keys
+	return graph.FromEdges(w.n, keys)
 }
 
 // Full reports whether the window spans t observed rounds, i.e. whether

@@ -12,10 +12,12 @@
 //     metrics) and — subject to the configured obliviousness lag — to the
 //     adversary.
 //
-// The two communication phases are parallelized over node shards with a
+// The two communication phases are parallelized over edge-balanced node
+// shards (cut by cumulative degree from the graph's CSR offsets) with a
 // barrier between them; all randomness is drawn from prf streams keyed by
-// (seed, node, round, purpose), so results are bit-identical for any
-// worker count.
+// (seed, node, round, purpose), and per-worker message/bit accounting is
+// folded at the barrier with exact integer sums, so results are
+// bit-identical for any worker count.
 package engine
 
 import (
@@ -108,12 +110,15 @@ type Config struct {
 
 // RoundInfo is the observer view of a completed round.
 type RoundInfo struct {
-	Round    int
-	Graph    *graph.Graph
-	Wake     []graph.NodeID
-	Outputs  []problems.Value // snapshot at end of round; do not modify
-	Messages int              // sub-messages delivered
-	Bits     int64            // declared encoded bits (0 if no BitSizer)
+	Round int
+	Graph *graph.Graph
+	Wake  []graph.NodeID
+	// Outputs is the end-of-round snapshot. The engine pools snapshot
+	// buffers: the slice is reused OutputLag+1 rounds later, so observers
+	// that retain outputs across rounds must copy it. Do not modify.
+	Outputs  []problems.Value
+	Messages int   // sub-messages delivered
+	Bits     int64 // declared encoded bits (0 if no BitSizer)
 }
 
 // Engine drives one simulation.
@@ -130,9 +135,11 @@ type Engine struct {
 	wakeRnd  []int
 	outbox   [][]SubMsg
 	inbox    [][]Incoming
-	snaps    [][]problems.Value // ring of output snapshots
+	snaps    [][]problems.Value // ring of pooled output snapshots
 	lag      int
 	workers  int
+	acc      []workerAcc // per-worker accounting cells
+	bounds   []int       // shard-boundary scratch
 
 	observers []func(*RoundInfo)
 }
@@ -170,6 +177,8 @@ func New(cfg Config, adv adversary.Adversary, algo Algorithm) *Engine {
 		snaps:    make([][]problems.Value, lag+1),
 		lag:      lag,
 		workers:  workers,
+		acc:      make([]workerAcc, workers),
+		bounds:   make([]int, 0, workers+1),
 	}
 	if s, ok := algo.(BitSizer); ok {
 		e.sizer = s
@@ -210,8 +219,9 @@ func (v view) DelayedOutputs() []problems.Value {
 	return v.e.snaps[seen%len(v.e.snaps)]
 }
 
-// Step plays one round and returns its info. The returned info (graph,
-// outputs) is immutable and safe to retain.
+// Step plays one round and returns its info. The returned info's graph is
+// immutable and safe to retain; its Outputs buffer is pooled and reused
+// OutputLag+1 rounds later (copy to retain, see RoundInfo).
 func (e *Engine) Step() *RoundInfo {
 	r := e.round + 1
 	st := e.adv.Step(view{e: e, r: r})
@@ -234,55 +244,67 @@ func (e *Engine) Step() *RoundInfo {
 		}
 		e.states[v].Start(&ctx, input)
 	}
-	// Model invariant: edges only between awake nodes.
-	st.G.EachEdge(func(u, v graph.NodeID) {
-		if !e.awake[u] || !e.awake[v] {
-			panic(fmt.Sprintf("engine: round %d edge {%d,%d} touches sleeping node", r, u, v))
+	// Model invariant: edges only between awake nodes. A sleeping node
+	// with nonzero degree is exactly an offending edge, so the scan is
+	// O(n) over the CSR offsets instead of O(m) over the edges.
+	for v := 0; v < e.cfg.N; v++ {
+		if !e.awake[v] && st.G.Degree(graph.NodeID(v)) > 0 {
+			u := st.G.Neighbors(graph.NodeID(v))[0]
+			panic(fmt.Sprintf("engine: round %d edge {%d,%d} touches sleeping node", r, v, u))
 		}
-	})
+	}
 
 	g := st.G
 
 	// Phase 1: broadcast.
-	e.parallelNodes(func(v graph.NodeID) {
-		ctx := Ctx{Node: v, Round: r, Seed: e.cfg.Seed}
-		e.outbox[v] = e.states[v].Broadcast(&ctx, e.outbox[v][:0])
+	e.parallelNodes(g, func(ctx *Ctx, v graph.NodeID) (int, int64) {
+		*ctx = Ctx{Node: v, Round: r, Seed: e.cfg.Seed}
+		e.outbox[v] = e.states[v].Broadcast(ctx, e.outbox[v][:0])
+		return 0, 0
 	})
 
-	// Phase 2: deliver and process.
-	var totalMsgs int
-	var totalBits int64
-	e.parallelNodes(func(v graph.NodeID) {
-		in := e.inbox[v][:0]
+	// Phase 2: deliver, process, snapshot and account — fused per node so
+	// no serial post-pass remains. The snapshot buffer comes from the
+	// ring: the slot being overwritten is OutputLag+1 rounds old, and a
+	// still-sleeping node was sleeping then too (wakefulness is
+	// monotone), so its entry is already Bot.
+	snap := e.snaps[r%len(e.snaps)]
+	if snap == nil {
+		snap = make([]problems.Value, e.cfg.N)
+		e.snaps[r%len(e.snaps)] = snap
+	}
+	totalMsgs, totalBits := e.parallelNodes(g, func(ctx *Ctx, v graph.NodeID) (int, int64) {
+		// Size the inbox exactly before filling it: one O(deg) counting
+		// pass replaces the append growth chain with at most one
+		// allocation, and the buffer is reused across rounds.
+		need := 0
+		for _, u := range g.Neighbors(v) {
+			need += len(e.outbox[u])
+		}
+		in := e.inbox[v]
+		if cap(in) < need {
+			in = make([]Incoming, 0, need)
+		} else {
+			in = in[:0]
+		}
 		for _, u := range g.Neighbors(v) {
 			for _, m := range e.outbox[u] {
 				in = append(in, Incoming{From: u, M: m})
 			}
 		}
 		e.inbox[v] = in
-		ctx := Ctx{Node: v, Round: r, Seed: e.cfg.Seed}
-		e.states[v].Process(&ctx, in, g.Degree(v))
-	})
-	for v := 0; v < e.cfg.N; v++ {
-		if !e.awake[v] {
-			continue
-		}
-		totalMsgs += len(e.inbox[v])
+		*ctx = Ctx{Node: v, Round: r, Seed: e.cfg.Seed}
+		e.states[v].Process(ctx, in, g.Degree(v))
+		snap[v] = e.states[v].Output()
+		var bits int64
 		if e.sizer != nil {
-			for _, in := range e.inbox[v] {
-				totalBits += int64(e.sizer.MessageBits(in.M))
+			for i := range in {
+				bits += int64(e.sizer.MessageBits(in[i].M))
 			}
 		}
-	}
+		return len(in), bits
+	})
 
-	// Snapshot outputs.
-	snap := make([]problems.Value, e.cfg.N)
-	for v := 0; v < e.cfg.N; v++ {
-		if e.awake[v] {
-			snap[v] = e.states[v].Output()
-		}
-	}
-	e.snaps[r%len(e.snaps)] = snap
 	e.curGraph = g
 	e.round = r
 
@@ -319,7 +341,9 @@ func (e *Engine) RunUntil(maxRounds int, pred func(*RoundInfo) bool) (int, bool)
 	return maxRounds, false
 }
 
-// Outputs returns the latest output snapshot (nil before round 1).
+// Outputs returns the latest output snapshot (nil before round 1). The
+// slice is pooled like RoundInfo.Outputs: it stays valid until the engine
+// plays OutputLag+1 further rounds; copy to retain beyond that.
 func (e *Engine) Outputs() []problems.Value {
 	if e.round == 0 {
 		return nil

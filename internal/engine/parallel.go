@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sort"
 	"sync"
 
 	"dynlocal/internal/graph"
@@ -10,40 +11,98 @@ import (
 // the benefit and phases run on the calling goroutine.
 const serialThreshold = 512
 
-// parallelNodes applies fn to every awake node, sharded across the
-// engine's workers with an implicit barrier on return. fn must only touch
-// state owned by its node (plus read-only shared state), which all engine
-// phases guarantee.
-func (e *Engine) parallelNodes(fn func(v graph.NodeID)) {
+// phaseFunc processes one node and returns its delivered message count and
+// declared bits (both zero for phases without accounting). ctx is a
+// per-worker scratch the callback must fully overwrite before use: a
+// per-node stack Ctx would escape to the heap at every interface call.
+type phaseFunc func(ctx *Ctx, v graph.NodeID) (msgs int, bits int64)
+
+// workerAcc is a per-worker accounting cell, padded out to a cache line so
+// concurrent workers do not false-share.
+type workerAcc struct {
+	msgs int
+	bits int64
+	_    [48]byte
+}
+
+// parallelNodes applies fn to every awake node and returns the summed
+// accounting, sharded across the engine's workers with an implicit barrier
+// on return. Shards are cut by cumulative degree in g (node v weighs
+// deg(v)+1), so skewed-degree graphs — stars, heavy-tailed churn — do not
+// pile their edge work onto one worker the way index-sharding does.
+//
+// fn must only touch state owned by its node (plus read-only shared
+// state), which all engine phases guarantee. Accounting is summed
+// per-worker and folded at the barrier; integer addition is exact and
+// order-independent, so totals are bit-identical for every worker count.
+func (e *Engine) parallelNodes(g *graph.Graph, fn phaseFunc) (int, int64) {
 	n := e.cfg.N
 	if e.workers <= 1 || n < serialThreshold {
+		var ctx Ctx
+		var msgs int
+		var bits int64
 		for v := 0; v < n; v++ {
 			if e.awake[v] {
-				fn(graph.NodeID(v))
+				m, b := fn(&ctx, graph.NodeID(v))
+				msgs += m
+				bits += b
 			}
 		}
-		return
+		return msgs, bits
 	}
+	bounds := e.shardBounds(g)
 	var wg sync.WaitGroup
-	chunk := (n + e.workers - 1) / e.workers
-	for w := 0; w < e.workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
+	for w := 0; w+1 < len(bounds); w++ {
+		lo, hi := bounds[w], bounds[w+1]
 		if lo >= hi {
-			break
+			e.acc[w] = workerAcc{}
+			continue
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
+			var ctx Ctx
+			var msgs int
+			var bits int64
 			for v := lo; v < hi; v++ {
 				if e.awake[v] {
-					fn(graph.NodeID(v))
+					m, b := fn(&ctx, graph.NodeID(v))
+					msgs += m
+					bits += b
 				}
 			}
-		}(lo, hi)
+			e.acc[w].msgs = msgs
+			e.acc[w].bits = bits
+		}(w, lo, hi)
 	}
 	wg.Wait()
+	var msgs int
+	var bits int64
+	for w := range e.acc {
+		msgs += e.acc[w].msgs
+		bits += e.acc[w].bits
+	}
+	return msgs, bits
+}
+
+// shardBounds cuts [0, n) into one contiguous node range per worker with
+// near-equal total weight, where node v weighs deg(v)+1. The graph's CSR
+// offset array is exactly the degree prefix sum, so every boundary is a
+// single binary search over an O(1) lookup. The bounds slice is reused
+// across rounds.
+func (e *Engine) shardBounds(g *graph.Graph) []int {
+	n := e.cfg.N
+	bounds := append(e.bounds[:0], 0)
+	total := 2*g.M() + n
+	for w := 1; w < e.workers; w++ {
+		target := total * w / e.workers
+		v := sort.Search(n, func(v int) bool { return g.CumDegree(v)+v >= target })
+		if prev := bounds[len(bounds)-1]; v < prev {
+			v = prev
+		}
+		bounds = append(bounds, v)
+	}
+	bounds = append(bounds, n)
+	e.bounds = bounds
+	return bounds
 }

@@ -22,6 +22,13 @@ type Params struct {
 	Quick bool
 	// Seed keys all workloads and algorithm randomness.
 	Seed uint64
+	// N overrides the node count of single-size experiments (0 = default).
+	N int
+	// NSweep overrides the node-count sweep of sweep experiments
+	// (nil = default).
+	NSweep []int
+	// Trials overrides the per-cell trial count (0 = default).
+	Trials int
 }
 
 func (p Params) seed() uint64 {
@@ -33,6 +40,9 @@ func (p Params) seed() uint64 {
 
 // nSweep returns the node-count sweep for convergence experiments.
 func (p Params) nSweep() []int {
+	if p.NSweep != nil {
+		return p.NSweep
+	}
 	if p.Quick {
 		return []int{128, 256, 512}
 	}
@@ -40,10 +50,25 @@ func (p Params) nSweep() []int {
 }
 
 func (p Params) trials() int {
+	if p.Trials > 0 {
+		return p.Trials
+	}
 	if p.Quick {
 		return 3
 	}
 	return 7
+}
+
+// size resolves a single-size experiment's node count, honoring the N
+// override.
+func (p Params) size(full, quick int) int {
+	if p.N > 0 {
+		return p.N
+	}
+	if p.Quick {
+		return quick
+	}
+	return full
 }
 
 func workloadStream(seed uint64) *prf.Stream {

@@ -162,10 +162,7 @@ type EndToEndResult struct {
 // E08ConcatEndToEnd verifies the combined algorithms produce T-dynamic
 // solutions in every round across the adversary suite.
 func E08ConcatEndToEnd(p Params) []EndToEndResult {
-	n := 256
-	if p.Quick {
-		n = 128
-	}
+	n := p.size(256, 128)
 	seed := p.seed()
 	var out []EndToEndResult
 	kinds := []AdversaryKind{AdvStatic, AdvChurn, AdvMarkov, AdvFlip}

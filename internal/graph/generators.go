@@ -8,21 +8,30 @@ import (
 
 // Generators build the synthetic workload graphs used by the experiments.
 // All of them draw randomness from a prf.Stream so workloads are
-// reproducible and independent of algorithm randomness.
+// reproducible and independent of algorithm randomness. Generators that
+// emit edges in canonical key order assemble the CSR graph directly via
+// FromSortedEdges; the rest go through FromEdges (sort + dedup).
 
 // GNP returns an Erdős–Rényi G(n, p) graph.
 func GNP(n int, p float64, s *prf.Stream) *Graph {
-	b := NewBuilder(n)
 	if p <= 0 {
-		return b.Graph()
+		return Empty(n)
 	}
 	if p >= 1 {
 		return Complete(n)
 	}
 	// Geometric skipping over the n(n-1)/2 potential edges: O(m) draws.
+	// Linear indexes are visited strictly ascending, and the row-major
+	// upper-triangle order is exactly EdgeKey order, so the (u, v)
+	// decoding advances incrementally — O(m + n) total instead of a
+	// prefix-sum scan per edge.
 	logq := math.Log(1 - p)
 	total := int64(n) * int64(n-1) / 2
 	idx := int64(-1)
+	keys := make([]EdgeKey, 0, int(float64(total)*p*1.1)+8)
+	row := int64(0)        // current row u
+	rowStart := int64(0)   // linear index of (u, u+1)
+	rowLen := int64(n - 1) // edges in the current row
 	for {
 		u := s.Float64()
 		if u >= 1 {
@@ -33,26 +42,15 @@ func GNP(n int, p float64, s *prf.Stream) *Graph {
 		if idx >= total {
 			break
 		}
-		u32, v32 := edgeFromIndex(idx, n)
-		b.AddEdge(u32, v32)
+		for idx-rowStart >= rowLen {
+			rowStart += rowLen
+			rowLen--
+			row++
+		}
+		v := row + 1 + (idx - rowStart)
+		keys = append(keys, MakeEdgeKey(NodeID(row), NodeID(v)))
 	}
-	return b.Graph()
-}
-
-// edgeFromIndex maps a linear index in [0, n(n-1)/2) to the edge (u, v)
-// with u < v in row-major order of the strict upper triangle.
-func edgeFromIndex(idx int64, n int) (NodeID, NodeID) {
-	// Row u owns (n-1-u) edges. Find u by solving the prefix sum.
-	u := int64(0)
-	remaining := idx
-	rowLen := int64(n - 1)
-	for remaining >= rowLen {
-		remaining -= rowLen
-		u++
-		rowLen--
-	}
-	v := u + 1 + remaining
-	return NodeID(u), NodeID(v)
+	return FromSortedEdges(n, keys)
 }
 
 // GNM returns a uniform graph with exactly m distinct edges (m capped at
@@ -62,95 +60,102 @@ func GNM(n, m int, s *prf.Stream) *Graph {
 	if m > maxM {
 		m = maxM
 	}
-	b := NewBuilder(n)
-	for b.M() < m {
+	have := make(map[EdgeKey]struct{}, m)
+	keys := make([]EdgeKey, 0, m)
+	for len(keys) < m {
 		u := NodeID(s.Intn(n))
 		v := NodeID(s.Intn(n))
-		if u != v {
-			b.AddEdge(u, v)
+		if u == v {
+			continue
 		}
+		k := MakeEdgeKey(u, v)
+		if _, ok := have[k]; ok {
+			continue
+		}
+		have[k] = struct{}{}
+		keys = append(keys, k)
 	}
-	return b.Graph()
+	return FromEdges(n, keys)
 }
 
 // Complete returns K_n.
 func Complete(n int) *Graph {
-	b := NewBuilder(n)
+	keys := make([]EdgeKey, 0, n*(n-1)/2)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			b.AddEdge(NodeID(u), NodeID(v))
+			keys = append(keys, MakeEdgeKey(NodeID(u), NodeID(v)))
 		}
 	}
-	return b.Graph()
+	return FromSortedEdges(n, keys)
 }
 
 // Cycle returns C_n (n >= 3); for n < 3 it returns a path.
 func Cycle(n int) *Graph {
-	b := NewBuilder(n)
+	keys := make([]EdgeKey, 0, n)
 	for i := 0; i+1 < n; i++ {
-		b.AddEdge(NodeID(i), NodeID(i+1))
+		keys = append(keys, MakeEdgeKey(NodeID(i), NodeID(i+1)))
 	}
 	if n >= 3 {
-		b.AddEdge(NodeID(n-1), 0)
+		keys = append(keys, MakeEdgeKey(NodeID(n-1), 0))
 	}
-	return b.Graph()
+	return FromEdges(n, keys)
 }
 
 // Path returns P_n.
 func Path(n int) *Graph {
-	b := NewBuilder(n)
+	keys := make([]EdgeKey, 0, n)
 	for i := 0; i+1 < n; i++ {
-		b.AddEdge(NodeID(i), NodeID(i+1))
+		keys = append(keys, MakeEdgeKey(NodeID(i), NodeID(i+1)))
 	}
-	return b.Graph()
+	return FromSortedEdges(n, keys)
 }
 
 // Grid returns the rows×cols king-free (4-neighbor) grid graph on
 // rows*cols nodes in row-major order.
 func Grid(rows, cols int) *Graph {
-	b := NewBuilder(rows * cols)
+	keys := make([]EdgeKey, 0, 2*rows*cols)
 	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			if c+1 < cols {
-				b.AddEdge(id(r, c), id(r, c+1))
+				keys = append(keys, MakeEdgeKey(id(r, c), id(r, c+1)))
 			}
 			if r+1 < rows {
-				b.AddEdge(id(r, c), id(r+1, c))
+				keys = append(keys, MakeEdgeKey(id(r, c), id(r+1, c)))
 			}
 		}
 	}
-	return b.Graph()
+	return FromSortedEdges(rows*cols, keys)
 }
 
 // CompleteBipartite returns K_{a,b} on a+b nodes (left ids first).
 func CompleteBipartite(a, b int) *Graph {
-	bld := NewBuilder(a + b)
+	keys := make([]EdgeKey, 0, a*b)
 	for u := 0; u < a; u++ {
 		for v := 0; v < b; v++ {
-			bld.AddEdge(NodeID(u), NodeID(a+v))
+			keys = append(keys, MakeEdgeKey(NodeID(u), NodeID(a+v)))
 		}
 	}
-	return bld.Graph()
+	return FromSortedEdges(a+b, keys)
 }
 
 // Star returns K_{1,n-1} with node 0 as the center.
 func Star(n int) *Graph {
-	b := NewBuilder(n)
+	keys := make([]EdgeKey, 0, n-1)
 	for v := 1; v < n; v++ {
-		b.AddEdge(0, NodeID(v))
+		keys = append(keys, MakeEdgeKey(0, NodeID(v)))
 	}
-	return b.Graph()
+	return FromSortedEdges(n, keys)
 }
 
 // RandomTree returns a uniform random recursive tree on n nodes: node i
 // attaches to a uniformly random earlier node.
 func RandomTree(n int, s *prf.Stream) *Graph {
-	b := NewBuilder(n)
+	keys := make([]EdgeKey, 0, n)
 	for v := 1; v < n; v++ {
-		b.AddEdge(NodeID(s.Intn(v)), NodeID(v))
+		keys = append(keys, MakeEdgeKey(NodeID(s.Intn(v)), NodeID(v)))
 	}
-	return b.Graph()
+	return FromEdges(n, keys)
 }
 
 // Caterpillar returns a path of spineLen nodes with legsPerSpine leaf
@@ -158,18 +163,18 @@ func RandomTree(n int, s *prf.Stream) *Graph {
 // palettes and a classic MIS stress shape.
 func Caterpillar(spineLen, legsPerSpine int) *Graph {
 	n := spineLen * (1 + legsPerSpine)
-	b := NewBuilder(n)
+	keys := make([]EdgeKey, 0, n)
 	for i := 0; i+1 < spineLen; i++ {
-		b.AddEdge(NodeID(i), NodeID(i+1))
+		keys = append(keys, MakeEdgeKey(NodeID(i), NodeID(i+1)))
 	}
 	leg := spineLen
 	for i := 0; i < spineLen; i++ {
 		for j := 0; j < legsPerSpine; j++ {
-			b.AddEdge(NodeID(i), NodeID(leg))
+			keys = append(keys, MakeEdgeKey(NodeID(i), NodeID(leg)))
 			leg++
 		}
 	}
-	return b.Graph()
+	return FromEdges(n, keys)
 }
 
 // Point is a 2-D coordinate in the unit square, used by the geometric
@@ -190,9 +195,8 @@ func RandomPoints(n int, s *prf.Stream) []Point {
 // near-linear for constant expected degree.
 func Geometric(pts []Point, radius float64) *Graph {
 	n := len(pts)
-	b := NewBuilder(n)
 	if radius <= 0 {
-		return b.Graph()
+		return Empty(n)
 	}
 	cell := radius
 	cols := int(1/cell) + 1
@@ -206,6 +210,7 @@ func Geometric(pts []Point, radius float64) *Graph {
 		bucket[key(p)] = append(bucket[key(p)], NodeID(i))
 	}
 	r2 := radius * radius
+	var keys []EdgeKey
 	for i, p := range pts {
 		cx := int(p.X / cell)
 		cy := int(p.Y / cell)
@@ -218,11 +223,11 @@ func Geometric(pts []Point, radius float64) *Graph {
 					q := pts[j]
 					ddx, ddy := p.X-q.X, p.Y-q.Y
 					if ddx*ddx+ddy*ddy <= r2 {
-						b.AddEdge(NodeID(i), j)
+						keys = append(keys, MakeEdgeKey(NodeID(i), j))
 					}
 				}
 			}
 		}
 	}
-	return b.Graph()
+	return FromEdges(n, keys)
 }

@@ -40,23 +40,18 @@ func TestGNPDeterministicPerStream(t *testing.T) {
 	}
 }
 
-func TestEdgeFromIndexCoversAllPairs(t *testing.T) {
+func TestGNPIndexDecodingCoversAllPairs(t *testing.T) {
+	// The incremental linear-index decoding must reach every pair of the
+	// upper triangle: the union of many dense draws is K_n. Distinctness
+	// and ordering are enforced by FromSortedEdges inside GNP (it panics
+	// on non-ascending keys), so coverage is the remaining property.
 	const n = 9
-	seen := make(map[EdgeKey]bool)
-	total := int64(n * (n - 1) / 2)
-	for i := int64(0); i < total; i++ {
-		u, v := edgeFromIndex(i, n)
-		if u >= v || v >= n {
-			t.Fatalf("index %d -> invalid edge (%d,%d)", i, u, v)
-		}
-		k := MakeEdgeKey(u, v)
-		if seen[k] {
-			t.Fatalf("index %d duplicates edge %v", i, k)
-		}
-		seen[k] = true
+	acc := Empty(n)
+	for seed := uint64(0); seed < 50; seed++ {
+		acc = Union(acc, GNP(n, 0.7, stream(seed)))
 	}
-	if int64(len(seen)) != total {
-		t.Fatalf("covered %d pairs, want %d", len(seen), total)
+	if !acc.Equal(Complete(n)) {
+		t.Fatalf("dense GNP union missed pairs:\n%s", acc.DebugString())
 	}
 }
 

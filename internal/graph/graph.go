@@ -1,19 +1,26 @@
 // Package graph provides the static-graph substrate for the dynamic-network
-// simulator: an immutable adjacency-list graph over a fixed node-id space,
-// a mutable builder, set operations (union, intersection, difference),
-// induced subgraphs, α-neighborhood balls with fingerprints for
-// locally-static detection, and the synthetic workload generators used by
-// the experiments.
+// simulator: an immutable graph in compressed-sparse-row (CSR) layout over a
+// fixed node-id space, a mutable builder, set operations (union,
+// intersection, difference), induced subgraphs, α-neighborhood balls with
+// fingerprints for locally-static detection, and the synthetic workload
+// generators used by the experiments.
 //
 // All graphs in this repository are simple and undirected, matching
 // Definition 2.2 of the paper. Node ids are dense int32 values in [0, N)
 // where N is the size of the potential-node universe V; a round graph G_r
 // may touch only a subset of those ids (the awake nodes), which the engine
 // tracks separately.
+//
+// The CSR layout packs every adjacency list into one shared arena: the
+// sorted neighbors of v occupy neighbors[offsets[v]:offsets[v+1]]. Building
+// a graph is two O(m) counting passes over a sorted edge-key list, and the
+// offsets array doubles as the exact cumulative-degree prefix sum the
+// engine uses for edge-balanced work partitioning.
 package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -23,7 +30,8 @@ type NodeID = int32
 
 // EdgeKey packs an undirected edge {u, v} with u < v into one comparable
 // 64-bit value, used as a map key by builders, sliding windows and
-// adversaries.
+// adversaries. The natural uint64 order of keys is the lexicographic
+// (u, v) order, which the CSR build exploits.
 type EdgeKey uint64
 
 // MakeEdgeKey builds the canonical key for the undirected edge {u, v}.
@@ -49,28 +57,82 @@ func (k EdgeKey) String() string {
 	return fmt.Sprintf("{%d,%d}", u, v)
 }
 
-// Graph is an immutable simple undirected graph with sorted adjacency
-// lists over the node-id space [0, N()).
+// Graph is an immutable simple undirected graph in CSR layout over the
+// node-id space [0, N()): offsets has length N()+1 and the sorted
+// adjacency list of v is neighbors[offsets[v]:offsets[v+1]].
 type Graph struct {
-	n   int
-	adj [][]NodeID
-	m   int
+	n         int
+	m         int
+	offsets   []int32
+	neighbors []NodeID
 }
 
 // Empty returns the edgeless graph on n node slots.
 func Empty(n int) *Graph {
-	return &Graph{n: n, adj: make([][]NodeID, n)}
+	return &Graph{n: n, offsets: make([]int32, n+1)}
 }
 
 // FromEdges builds a graph on n node slots from an edge list. Duplicate
-// edges are collapsed; it panics on out-of-range endpoints or self-loops.
+// edges are collapsed; it panics on out-of-range endpoints. The input
+// slice is not modified.
 func FromEdges(n int, edges []EdgeKey) *Graph {
-	b := NewBuilder(n)
-	for _, e := range edges {
-		u, v := e.Nodes()
-		b.AddEdge(u, v)
+	if len(edges) == 0 {
+		return Empty(n)
 	}
-	return b.Graph()
+	keys := append(make([]EdgeKey, 0, len(edges)), edges...)
+	slices.Sort(keys)
+	keys = slices.Compact(keys)
+	return fromSortedKeys(n, keys)
+}
+
+// FromSortedEdges builds a graph from a strictly ascending edge-key list
+// without copying or sorting — the fast path for generators and windows
+// that produce keys in canonical order. It panics if the list is not
+// strictly ascending or an endpoint is out of range.
+func FromSortedEdges(n int, edges []EdgeKey) *Graph {
+	for i := 1; i < len(edges); i++ {
+		if edges[i-1] >= edges[i] {
+			panic(fmt.Sprintf("graph: FromSortedEdges keys not strictly ascending at %d", i))
+		}
+	}
+	return fromSortedKeys(n, edges)
+}
+
+// fromSortedKeys assembles the CSR arrays from a sorted, deduplicated key
+// list in two counting passes. Because keys are sorted lexicographically by
+// (u, v), filling each row's smaller neighbors first (pass A: row v gains
+// u < v) and larger neighbors second (pass B: row u gains v > u) yields
+// fully sorted rows with no per-row sort.
+func fromSortedKeys(n int, keys []EdgeKey) *Graph {
+	g := &Graph{n: n, m: len(keys), offsets: make([]int32, n+1)}
+	for _, k := range keys {
+		u, v := k.Nodes()
+		if u < 0 || int(v) >= n {
+			panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, n))
+		}
+		if u == v {
+			panic(fmt.Sprintf("graph: self-loop at node %d", u))
+		}
+		g.offsets[u+1]++
+		g.offsets[v+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.offsets[i+1] += g.offsets[i]
+	}
+	g.neighbors = make([]NodeID, 2*len(keys))
+	cursor := make([]int32, n)
+	copy(cursor, g.offsets[:n])
+	for _, k := range keys {
+		u, v := k.Nodes()
+		g.neighbors[cursor[v]] = u
+		cursor[v]++
+	}
+	for _, k := range keys {
+		u, v := k.Nodes()
+		g.neighbors[cursor[u]] = v
+		cursor[u]++
+	}
+	return g
 }
 
 // N returns the size of the node-id space.
@@ -80,22 +142,29 @@ func (g *Graph) N() int { return g.n }
 func (g *Graph) M() int { return g.m }
 
 // Degree returns the degree of v.
-func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v NodeID) int { return int(g.offsets[v+1] - g.offsets[v]) }
+
+// CumDegree returns the sum of degrees of nodes [0, v) — the CSR offset
+// of v, an O(1) lookup with CumDegree(N()) == 2·M(). The engine uses it
+// to cut edge-balanced worker shards.
+func (g *Graph) CumDegree(v int) int { return int(g.offsets[v]) }
 
 // MaxDegree returns the maximum degree over all nodes (0 for edgeless).
 func (g *Graph) MaxDegree() int {
-	max := 0
-	for _, a := range g.adj {
-		if len(a) > max {
-			max = len(a)
+	max := int32(0)
+	for v := 0; v < g.n; v++ {
+		if d := g.offsets[v+1] - g.offsets[v]; d > max {
+			max = d
 		}
 	}
-	return max
+	return int(max)
 }
 
-// Neighbors returns the sorted adjacency list of v. The returned slice is
-// shared with the graph and must not be modified.
-func (g *Graph) Neighbors(v NodeID) []NodeID { return g.adj[v] }
+// Neighbors returns the sorted adjacency list of v. The returned slice
+// aliases the graph's arena and must not be modified.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	return g.neighbors[g.offsets[v]:g.offsets[v+1]]
+}
 
 // HasEdge reports whether {u, v} is an edge; binary search over the sorted
 // adjacency list of the lower-degree endpoint.
@@ -103,9 +172,9 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 	if u == v {
 		return false
 	}
-	a, target := g.adj[u], v
-	if len(g.adj[v]) < len(a) {
-		a, target = g.adj[v], u
+	a, target := g.Neighbors(u), v
+	if b := g.Neighbors(v); len(b) < len(a) {
+		a, target = b, u
 	}
 	i := sort.Search(len(a), func(i int) bool { return a[i] >= target })
 	return i < len(a) && a[i] == target
@@ -114,55 +183,51 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 // Edges returns all edges in canonical (sorted) key order.
 func (g *Graph) Edges() []EdgeKey {
 	out := make([]EdgeKey, 0, g.m)
-	for u := 0; u < g.n; u++ {
-		for _, v := range g.adj[u] {
-			if NodeID(u) < v {
-				out = append(out, MakeEdgeKey(NodeID(u), v))
-			}
-		}
-	}
-	return out
+	return g.AppendEdges(out)
 }
 
-// EachEdge calls fn for every edge with u < v.
+// AppendEdges appends all edges in canonical key order to dst and returns
+// it, letting round-loop callers reuse one buffer.
+func (g *Graph) AppendEdges(dst []EdgeKey) []EdgeKey {
+	for u := 0; u < g.n; u++ {
+		row := g.Neighbors(NodeID(u))
+		// Skip the smaller neighbors: rows are sorted, so the v > u
+		// suffix starts at the first index with row[i] > u.
+		i := sort.Search(len(row), func(i int) bool { return row[i] > NodeID(u) })
+		for _, v := range row[i:] {
+			dst = append(dst, MakeEdgeKey(NodeID(u), v))
+		}
+	}
+	return dst
+}
+
+// EachEdge calls fn for every edge with u < v, in canonical order.
 func (g *Graph) EachEdge(fn func(u, v NodeID)) {
 	for u := 0; u < g.n; u++ {
-		for _, v := range g.adj[u] {
-			if NodeID(u) < v {
-				fn(NodeID(u), v)
-			}
+		row := g.Neighbors(NodeID(u))
+		i := sort.Search(len(row), func(i int) bool { return row[i] > NodeID(u) })
+		for _, v := range row[i:] {
+			fn(NodeID(u), v)
 		}
 	}
 }
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
-	adj := make([][]NodeID, g.n)
-	for i, a := range g.adj {
-		if len(a) > 0 {
-			adj[i] = append([]NodeID(nil), a...)
-		}
+	return &Graph{
+		n:         g.n,
+		m:         g.m,
+		offsets:   slices.Clone(g.offsets),
+		neighbors: slices.Clone(g.neighbors),
 	}
-	return &Graph{n: g.n, adj: adj, m: g.m}
 }
 
 // Equal reports whether g and h have identical node spaces and edge sets.
+// CSR arrays are canonical, so equality is two slice comparisons.
 func (g *Graph) Equal(h *Graph) bool {
-	if g.n != h.n || g.m != h.m {
-		return false
-	}
-	for u := 0; u < g.n; u++ {
-		a, b := g.adj[u], h.adj[u]
-		if len(a) != len(b) {
-			return false
-		}
-		for i := range a {
-			if a[i] != b[i] {
-				return false
-			}
-		}
-	}
-	return true
+	return g.n == h.n && g.m == h.m &&
+		slices.Equal(g.offsets, h.offsets) &&
+		slices.Equal(g.neighbors, h.neighbors)
 }
 
 // String renders a compact description, e.g. "G(n=5, m=4)".
@@ -176,11 +241,12 @@ func (g *Graph) DebugString() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "graph n=%d m=%d\n", g.n, g.m)
 	for u := 0; u < g.n; u++ {
-		if len(g.adj[u]) == 0 {
+		row := g.Neighbors(NodeID(u))
+		if len(row) == 0 {
 			continue
 		}
 		fmt.Fprintf(&sb, "  %d:", u)
-		for _, v := range g.adj[u] {
+		for _, v := range row {
 			fmt.Fprintf(&sb, " %d", v)
 		}
 		sb.WriteByte('\n')
@@ -246,25 +312,10 @@ func (b *Builder) EdgeKeys() []EdgeKey {
 // Graph freezes the builder into an immutable Graph. The builder remains
 // usable afterwards (subsequent mutations do not affect the built graph).
 func (b *Builder) Graph() *Graph {
-	deg := make([]int, b.n)
+	keys := make([]EdgeKey, 0, len(b.edges))
 	for k := range b.edges {
-		u, v := k.Nodes()
-		deg[u]++
-		deg[v]++
+		keys = append(keys, k)
 	}
-	adj := make([][]NodeID, b.n)
-	for i, d := range deg {
-		if d > 0 {
-			adj[i] = make([]NodeID, 0, d)
-		}
-	}
-	for k := range b.edges {
-		u, v := k.Nodes()
-		adj[u] = append(adj[u], v)
-		adj[v] = append(adj[v], u)
-	}
-	for _, a := range adj {
-		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
-	}
-	return &Graph{n: b.n, adj: adj, m: len(b.edges)}
+	slices.Sort(keys)
+	return fromSortedKeys(b.n, keys)
 }

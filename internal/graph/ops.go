@@ -3,42 +3,74 @@ package graph
 import "sort"
 
 // Union returns the graph containing every edge of g or h. Both operands
-// must share the same node space.
+// must share the same node space. Implemented as a linear merge of the
+// two sorted edge lists.
 func Union(g, h *Graph) *Graph {
 	mustSameN(g, h)
-	b := NewBuilder(g.n)
-	g.EachEdge(b.AddEdge)
-	h.EachEdge(b.AddEdge)
-	return b.Graph()
+	a, b := g.Edges(), h.Edges()
+	out := make([]EdgeKey, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return fromSortedKeys(g.n, out)
 }
 
 // Intersection returns the graph containing the edges present in both g
 // and h. Both operands must share the same node space.
 func Intersection(g, h *Graph) *Graph {
 	mustSameN(g, h)
-	b := NewBuilder(g.n)
-	small, big := g, h
-	if h.m < g.m {
-		small, big = h, g
+	a, b := g.Edges(), h.Edges()
+	min := len(a)
+	if len(b) < min {
+		min = len(b)
 	}
-	small.EachEdge(func(u, v NodeID) {
-		if big.HasEdge(u, v) {
-			b.AddEdge(u, v)
+	out := make([]EdgeKey, 0, min)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
 		}
-	})
-	return b.Graph()
+	}
+	return fromSortedKeys(g.n, out)
 }
 
 // Difference returns the graph containing the edges of g that are not in h.
 func Difference(g, h *Graph) *Graph {
 	mustSameN(g, h)
-	b := NewBuilder(g.n)
-	g.EachEdge(func(u, v NodeID) {
-		if !h.HasEdge(u, v) {
-			b.AddEdge(u, v)
+	a, b := g.Edges(), h.Edges()
+	out := make([]EdgeKey, 0, len(a))
+	i, j := 0, 0
+	for i < len(a) {
+		for j < len(b) && b[j] < a[i] {
+			j++
 		}
-	})
-	return b.Graph()
+		if j >= len(b) || b[j] != a[i] {
+			out = append(out, a[i])
+		}
+		i++
+	}
+	return fromSortedKeys(g.n, out)
 }
 
 // IntersectAll folds Intersection over a non-empty slice of graphs.
@@ -58,30 +90,28 @@ func UnionAll(gs []*Graph) *Graph {
 	if len(gs) == 0 {
 		panic("graph: UnionAll of empty slice")
 	}
-	b := NewBuilder(gs[0].n)
-	for _, g := range gs {
+	acc := gs[0]
+	for _, g := range gs[1:] {
 		mustSameN(gs[0], g)
-		g.EachEdge(b.AddEdge)
+		acc = Union(acc, g)
 	}
-	return b.Graph()
+	return acc
 }
 
 // InducedSubgraph returns the graph on the same node space keeping only
 // edges with both endpoints in keep.
 func InducedSubgraph(g *Graph, keep []NodeID) *Graph {
-	in := make(map[NodeID]bool, len(keep))
+	in := make([]bool, g.n)
 	for _, v := range keep {
 		in[v] = true
 	}
-	b := NewBuilder(g.n)
-	for _, u := range keep {
-		for _, v := range g.adj[u] {
-			if u < v && in[v] {
-				b.AddEdge(u, v)
-			}
+	var out []EdgeKey
+	g.EachEdge(func(u, v NodeID) {
+		if in[u] && in[v] {
+			out = append(out, MakeEdgeKey(u, v))
 		}
-	}
-	return b.Graph()
+	})
+	return fromSortedKeys(g.n, out)
 }
 
 // Ball returns the set of nodes within distance radius of v (including v),
@@ -92,7 +122,7 @@ func Ball(g *Graph, v NodeID, radius int) []NodeID {
 	for d := 0; d < radius; d++ {
 		var next []NodeID
 		for _, u := range frontier {
-			for _, w := range g.adj[u] {
+			for _, w := range g.Neighbors(u) {
 				if _, ok := dist[w]; !ok {
 					dist[w] = d + 1
 					next = append(next, w)
@@ -135,7 +165,7 @@ func BallFingerprint(g *Graph, v NodeID, radius int) uint64 {
 	}
 	for _, u := range members {
 		mix(uint64(uint32(u)) | 1<<40)
-		for _, w := range g.adj[u] {
+		for _, w := range g.Neighbors(u) {
 			if u < w && in[w] {
 				mix(uint64(MakeEdgeKey(u, w)))
 			}
@@ -162,12 +192,12 @@ func BallStatic(a, b *Graph, v NodeID, radius int) bool {
 		in[u] = true
 	}
 	for _, u := range ma {
-		for _, w := range a.adj[u] {
+		for _, w := range a.Neighbors(u) {
 			if u < w && in[w] && !b.HasEdge(u, w) {
 				return false
 			}
 		}
-		for _, w := range b.adj[u] {
+		for _, w := range b.Neighbors(u) {
 			if u < w && in[w] && !a.HasEdge(u, w) {
 				return false
 			}
@@ -196,7 +226,7 @@ func ConnectedComponents(g *Graph) (label []NodeID, count int) {
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, w := range g.adj[u] {
+			for _, w := range g.Neighbors(u) {
 				if label[w] == -1 {
 					label[w] = root
 					stack = append(stack, w)
@@ -214,7 +244,7 @@ func IsIndependentSet(g *Graph, set []NodeID) bool {
 		in[v] = true
 	}
 	for _, v := range set {
-		for _, u := range g.adj[v] {
+		for _, u := range g.Neighbors(v) {
 			if in[u] {
 				return false
 			}
@@ -235,7 +265,7 @@ func IsDominatingSet(g *Graph, set []NodeID, universe []NodeID) bool {
 			continue
 		}
 		dominated := false
-		for _, u := range g.adj[v] {
+		for _, u := range g.Neighbors(v) {
 			if in[u] {
 				dominated = true
 				break

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Runs the root bench suite with -benchmem and records the results as
+# BENCH_<date><label>.json in the repo root, so the performance trajectory
+# of the simulator is tracked in-tree.
+#
+# Usage:
+#   scripts/bench.sh                 # full suite, 1 iteration per bench
+#   BENCH='E06|E08' scripts/bench.sh # filter benches by regex
+#   LABEL=-pre scripts/bench.sh      # suffix the output file name
+#   BENCHTIME=3x scripts/bench.sh    # more iterations per bench
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-.}"
+LABEL="${LABEL:-}"
+BENCHTIME="${BENCHTIME:-1x}"
+COUNT="${COUNT:-1}"
+OUT="BENCH_$(date +%F)${LABEL}.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" \
+	-count "$COUNT" -timeout 60m . | tee "$TMP"
+
+awk -v date="$(date -u +%FT%TZ)" -v goversion="$(go env GOVERSION)" \
+	-v host="$(uname -sm)" '
+BEGIN {
+	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"host\": \"%s\",\n  \"benchmarks\": [", date, goversion, host
+	first = 1
+}
+/^Benchmark/ && NF >= 4 {
+	name = $1
+	iters = $2
+	ns = ""; bytes = ""; allocs = ""; extra = ""
+	for (i = 3; i + 1 <= NF; i += 2) {
+		v = $i; u = $(i + 1)
+		if (u == "ns/op") ns = v
+		else if (u == "B/op") bytes = v
+		else if (u == "allocs/op") allocs = v
+		else {
+			if (extra != "") extra = extra ", "
+			extra = extra sprintf("\"%s\": %s", u, v)
+		}
+	}
+	if (!first) printf ","
+	first = 0
+	printf "\n    {\"name\": \"%s\", \"iterations\": %s", name, iters
+	if (ns != "") printf ", \"ns_per_op\": %s", ns
+	if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+	if (extra != "") printf ", \"metrics\": {%s}", extra
+	printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT"
