@@ -23,6 +23,7 @@ import (
 	"dynlocal/internal/prf"
 	"dynlocal/internal/problems"
 	"dynlocal/internal/stats"
+	"dynlocal/internal/verify"
 )
 
 func benchParams(i int) experiments.Params {
@@ -391,23 +392,103 @@ func BenchmarkCombinedMISRound(b *testing.B) {
 	b.ReportMetric(float64(n), "nodes")
 }
 
-// BenchmarkTDynamicChecker measures the verification overhead per round.
+// BenchmarkTDynamicChecker measures the verification overhead per round at
+// N=4096 under steady churn, for the incremental delta-driven checker
+// against the materializing oracle (per-round G^∩T/G^∪T CSR rebuild +
+// full CheckFull rescans). The allocs/op gap between the two sub-benches
+// is the headline number of the incremental verification pipeline.
 func BenchmarkTDynamicChecker(b *testing.B) {
 	const n = 4096
+	const T = 16
+	const cycle = 48
 	base := GNP(n, 8.0/float64(n), 5)
-	out := make([]Value, n)
-	for i := range out {
-		out[i] = Value(i%4 + 1)
-	}
-	chk := NewTDynamicChecker(ColoringProblem(), 16, n)
-	wake := AllNodes(n)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		var w []NodeID
-		if i == 0 {
-			w = wake
+	// Pre-generate a churned graph cycle (toggle 32 random node pairs per
+	// round) and a drifting output schedule so both checkers process real
+	// topology and output deltas every round without generator cost inside
+	// the timed loop.
+	s := prf.NewStream(17, 0, 0, prf.PurposeWorkload)
+	graphs := make([]*graph.Graph, cycle)
+	outs := make([][]problems.Value, cycle)
+	bld := graph.NewBuilder(n)
+	base.EachEdge(func(u, v graph.NodeID) { bld.AddEdge(u, v) })
+	for i := range graphs {
+		for j := 0; j < 32; j++ {
+			u := graph.NodeID(s.Intn(n))
+			v := graph.NodeID(s.Intn(n))
+			if u == v {
+				continue
+			}
+			if bld.HasEdge(u, v) {
+				bld.RemoveEdge(u, v)
+			} else {
+				bld.AddEdge(u, v)
+			}
 		}
-		chk.Observe(base, w, out)
+		graphs[i] = bld.Graph()
+	}
+	// Output schedule: a greedy coloring of the footprint (union of all
+	// cycle graphs), churned by properly recoloring 32 random nodes per
+	// round. Properness w.r.t. the footprint implies properness on every
+	// window intersection graph, so — like a converged run of the real
+	// algorithms — rounds are (near-)violation-free and the benchmark
+	// measures checking cost, not violation-report formatting.
+	foot := graphs[0]
+	for _, g := range graphs[1:] {
+		foot = graph.Union(foot, g)
+	}
+	recolor := func(out []problems.Value, v graph.NodeID) {
+		used := make(map[problems.Value]bool)
+		for _, u := range foot.Neighbors(v) {
+			used[out[u]] = true
+		}
+		for c := problems.Value(1); ; c++ {
+			if !used[c] {
+				out[v] = c
+				return
+			}
+		}
+	}
+	out := make([]problems.Value, n)
+	for v := 0; v < n; v++ {
+		recolor(out, graph.NodeID(v))
+	}
+	for i := range outs {
+		for j := 0; j < 32; j++ {
+			recolor(out, graph.NodeID(s.Intn(n)))
+		}
+		outs[i] = append([]problems.Value(nil), out...)
+	}
+	// Ping-pong through the cycle so every step — including the wrap — is
+	// exactly one 32-toggle/32-recolor delta; a plain modulo wrap from
+	// graphs[cycle-1] back to graphs[0] would inject one ~47×-churn round
+	// per cycle and skew the incremental path's steady-state numbers.
+	order := make([]int, 0, 2*cycle-2)
+	for i := 0; i < cycle; i++ {
+		order = append(order, i)
+	}
+	for i := cycle - 2; i >= 1; i-- {
+		order = append(order, i)
+	}
+	wake := AllNodes(n)
+	for _, mode := range []struct {
+		name string
+		mk   func() *verify.TDynamic
+	}{
+		{"incremental", func() *verify.TDynamic { return verify.NewTDynamic(problems.Coloring(), T, n) }},
+		{"oracle", func() *verify.TDynamic { return verify.NewTDynamicOracle(problems.Coloring(), T, n) }},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			chk := mode.mk()
+			chk.Observe(graphs[0], wake, outs[0])
+			for i := 1; i < len(order); i++ { // fill the window before timing
+				chk.Observe(graphs[order[i]], nil, outs[order[i]])
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := order[i%len(order)]
+				chk.Observe(graphs[j], nil, outs[j])
+			}
+		})
 	}
 }
 

@@ -2,6 +2,7 @@ package dyngraph
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 
 	"dynlocal/internal/graph"
@@ -41,6 +42,9 @@ func (w *FracWindow) T() int { return w.t }
 func (w *FracWindow) Round() int { return w.round }
 
 // Observe advances the window with the round graph g and newly awake nodes.
+// As for Window.Observe, edges incident to nodes that have never been woken
+// are rejected with a panic: the model only allows edges between awake
+// nodes.
 func (w *FracWindow) Observe(g *graph.Graph, wakeNow []graph.NodeID) {
 	if g.N() != w.n {
 		panic("dyngraph: graph node space does not match frac window")
@@ -66,6 +70,9 @@ func (w *FracWindow) Observe(g *graph.Graph, wakeNow []graph.NodeID) {
 		}
 	}
 	g.EachEdge(func(u, v graph.NodeID) {
+		if w.wake[u] == 0 || w.wake[v] == 0 {
+			panic(fmt.Sprintf("dyngraph: edge {%d,%d} touches a sleeping node in round %d", u, v, w.round))
+		}
 		k := graph.MakeEdgeKey(u, v)
 		w.mask[k] |= 1
 	})
@@ -79,16 +86,23 @@ func (w *FracWindow) Count(u, v graph.NodeID) int {
 	return bits.OnesCount64(w.mask[graph.MakeEdgeKey(u, v)])
 }
 
+// fracTolerance absorbs the binary rounding of the product δ·T when
+// computing ⌈δ·T⌉: products that are exact integers in decimal arithmetic
+// (0.2·15 = 3) come out of float64 multiplication a few ulps high
+// (3.0000000000000004) and a plain ceiling would inflate the threshold by
+// one, silently dropping edges from G^{δ,T}. With T ≤ 64 the accumulated
+// rounding error is below 2⁻⁴⁶, many orders of magnitude under this guard,
+// while genuine fractions at the window sizes of interest (denominator
+// ≤ T ≤ 64) sit at least 1/64 above the guarded integer.
+const fracTolerance = 1e-9
+
 // threshold returns the presence count required for inclusion at fraction
 // delta: ⌈δ·T⌉, clamped to at least 1. The fraction is always taken over
 // the full window size T; rounds before the sequence started count as
 // absent (the paper's round 0 is the empty graph), so δ = 1 reproduces the
 // intersection graph's empty-before-round-T behavior.
 func (w *FracWindow) threshold(delta float64) int {
-	th := int(delta * float64(w.t))
-	if float64(th) < delta*float64(w.t) {
-		th++
-	}
+	th := int(math.Ceil(delta*float64(w.t) - fracTolerance))
 	if th < 1 {
 		th = 1
 	}

@@ -1,6 +1,7 @@
 package dyngraph
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -8,7 +9,9 @@ import (
 )
 
 // directFracGraph computes G^{δ,T} from the raw history. The threshold is
-// ⌈δ·T⌉ over the full window size; rounds before the sequence started count
+// ⌈δ·T⌉ over the full window size, with the same rounding guard as the
+// implementation so that decimally-exact products (0.2·15 = 3) are not
+// inflated by float64 rounding; rounds before the sequence started count
 // as absent (round 0 is the empty graph).
 func directFracGraph(history []*graph.Graph, T int, delta float64) *graph.Graph {
 	r := len(history)
@@ -16,10 +19,7 @@ func directFracGraph(history []*graph.Graph, T int, delta float64) *graph.Graph 
 	if r0 < 1 {
 		r0 = 1
 	}
-	th := int(delta * float64(T))
-	if float64(th) < delta*float64(T) {
-		th++
-	}
+	th := int(math.Ceil(delta*float64(T) - fracTolerance))
 	if th < 1 {
 		th = 1
 	}
@@ -155,6 +155,78 @@ func TestFracWindowCount(t *testing.T) {
 	if w.Count(1, 1) != 0 {
 		t.Fatal("self loop count nonzero")
 	}
+}
+
+// TestFracWindowThreshold pins ⌈δ·T⌉ for products that are exact integers
+// in decimal arithmetic — where the former truncate-then-compare float
+// computation inflated the threshold by one (0.2·15 = 3.0000000000000004 →
+// 4) — and for true fractions, which must still round up.
+func TestFracWindowThreshold(t *testing.T) {
+	cases := []struct {
+		t     int
+		delta float64
+		want  int
+	}{
+		// Decimally exact products: threshold must be the product itself.
+		{15, 0.2, 3},
+		{30, 0.1, 3},
+		{16, 0.25, 4},
+		{10, 0.3, 3},
+		{7, 1.0, 7},
+		// True fractions: round up.
+		{10, 0.35, 4},
+		{5, 0.5, 3},
+		{3, 0.34, 2},
+		{64, 0.4, 26},
+		// Tiny δ clamps to 1.
+		{64, 0.01, 1},
+		{4, 0.1, 1},
+	}
+	for _, c := range cases {
+		w := NewFracWindow(c.t, 2)
+		if got := w.threshold(c.delta); got != c.want {
+			t.Errorf("threshold(δ=%v, T=%d) = %d, want %d", c.delta, c.t, got, c.want)
+		}
+	}
+}
+
+// TestFracWindowExactProductKeepsEdges checks end to end that δ values
+// whose product with T is decimally exact do not drop edges: with δ = 0.2
+// and T = 15, an edge present in exactly 3 of the last 15 rounds must be
+// in G^{0.2,15}.
+func TestFracWindowExactProductKeepsEdges(t *testing.T) {
+	const T = 15
+	const n = 2
+	w := NewFracWindow(T, n)
+	e := graph.FromEdges(n, []graph.EdgeKey{graph.MakeEdgeKey(0, 1)})
+	empty := graph.Empty(n)
+	w.Observe(empty, allNodes(n))
+	for r := 2; r <= T; r++ {
+		if r <= 4 {
+			w.Observe(e, nil) // present rounds 2, 3, 4 — count 3
+		} else {
+			w.Observe(empty, nil)
+		}
+	}
+	if got := w.Count(0, 1); got != 3 {
+		t.Fatalf("edge count = %d, want 3", got)
+	}
+	if !w.Graph(0.2).HasEdge(0, 1) {
+		t.Fatal("edge with count 3 = 0.2·15 missing from G^{0.2,15}")
+	}
+	if w.Graph(0.3).HasEdge(0, 1) {
+		t.Fatal("edge with count 3 < ⌈0.3·15⌉ = 5 wrongly included")
+	}
+}
+
+func TestFracWindowRejectsSleepingEdges(t *testing.T) {
+	w := NewFracWindow(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for edge touching sleeping node")
+		}
+	}()
+	w.Observe(graph.FromEdges(3, []graph.EdgeKey{graph.MakeEdgeKey(0, 2)}), []graph.NodeID{0, 1})
 }
 
 func TestFracWindowValidation(t *testing.T) {

@@ -1,0 +1,78 @@
+package dyngraph
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dynlocal/internal/graph"
+)
+
+// FuzzDecodeTrace feeds arbitrary bytes to the trace decoder. The decoder
+// must either reject the input with an error or produce a trace that is
+// fully usable: replayable without panics (every edge key within the node
+// universe, no self-loops) and stable under a re-encode/re-decode round
+// trip.
+func FuzzDecodeTrace(f *testing.F) {
+	// Seed corpus: a genuine encoded trace, prefix truncations of it, and
+	// the corrupt fixtures from the unit tests.
+	tr, _ := buildSampleTrace(f, 3, 10, 5)
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:5])
+	f.Add([]byte("DYNT"))
+	f.Add([]byte("NOPE"))
+	f.Add(corruptTrace(1, 4, 1, 0, 1<<40))
+	f.Add(corruptTrace(1, 1<<33, 0))
+	f.Add(corruptTrace(1, 4, 1, 0, 2, 1<<32|2, 0))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Decoded ids must be in range (linear in input size).
+		for i, st := range tr.rounds {
+			for _, v := range st.wake {
+				if int(v) < 0 || int(v) >= tr.N() {
+					t.Fatalf("round %d: wake id %d outside [0,%d)", i+1, v, tr.N())
+				}
+			}
+		}
+		// Re-encode and re-decode: must succeed and agree step for step.
+		var out bytes.Buffer
+		if err := tr.Encode(&out); err != nil {
+			t.Fatalf("re-encode of decoded trace: %v", err)
+		}
+		tr2, err := DecodeTrace(&out)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded trace: %v", err)
+		}
+		if tr2.N() != tr.N() || !reflect.DeepEqual(tr.rounds, tr2.rounds) {
+			t.Fatalf("round trip changed trace: n %d→%d", tr.N(), tr2.N())
+		}
+		// Replay/GraphAt must not panic on validated input. Both are
+		// O(rounds·n) by nature, so bound them: a hostile input can claim
+		// ~3 bytes per empty round and a large n, and unbounded replay
+		// would turn one fuzz exec quadratic and trip the hang detector.
+		if tr.Rounds() > 0 && tr.Rounds()*(tr.N()+1) <= 1<<22 {
+			rounds := 0
+			var last *graph.Graph
+			tr.Replay(func(r int, g *graph.Graph, wake []graph.NodeID) {
+				rounds++
+				last = g
+			})
+			if rounds != tr.Rounds() {
+				t.Fatalf("replayed %d of %d rounds", rounds, tr.Rounds())
+			}
+			if !tr.GraphAt(tr.Rounds()).Equal(last) {
+				t.Fatal("GraphAt(last) differs from final Replay graph")
+			}
+		}
+	})
+}

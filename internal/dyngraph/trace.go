@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"dynlocal/internal/graph"
 )
@@ -82,18 +83,24 @@ func (t *Trace) Replay(fn func(round int, g *graph.Graph, wake []graph.NodeID)) 
 	}
 }
 
-// GraphAt materializes the graph of a single (1-based) round.
+// GraphAt materializes the graph of a single (1-based) round. Only the
+// deltas up to that round are applied — rounds beyond it are neither
+// replayed nor materialized.
 func (t *Trace) GraphAt(round int) *graph.Graph {
 	if round < 1 || round > len(t.rounds) {
 		panic(fmt.Sprintf("dyngraph: round %d outside trace [1,%d]", round, len(t.rounds)))
 	}
-	var out *graph.Graph
-	t.Replay(func(r int, g *graph.Graph, _ []graph.NodeID) {
-		if r == round {
-			out = g
+	b := graph.NewBuilder(t.n)
+	for _, st := range t.rounds[:round] {
+		for _, k := range st.added {
+			b.AddEdgeKey(k)
 		}
-	})
-	return out
+		for _, k := range st.removed {
+			u, v := k.Nodes()
+			b.RemoveEdge(u, v)
+		}
+	}
+	return b.Graph()
 }
 
 const traceMagic = "DYNT"
@@ -140,7 +147,26 @@ func putUvarint(bw *bufio.Writer, v uint64) {
 	bw.Write(buf[:n]) //nolint:errcheck // bufio.Writer errors surface at Flush
 }
 
-// DecodeTrace reads a trace from the binary wire format.
+// decodePrealloc caps the capacity handed to make() while decoding, so a
+// corrupt or hostile header claiming billions of entries cannot allocate
+// unbounded memory from a tiny input: beyond the cap, slices grow only as
+// fast as actual input is consumed (every claimed entry costs at least one
+// input byte, so truncated input fails with ErrUnexpectedEOF first).
+const decodePrealloc = 1 << 16
+
+// MaxDecodeNodes bounds the node universe a decoded trace may declare.
+// Replaying a trace materializes O(n) graphs, so without this bound a
+// 14-byte hostile header claiming n = 2³¹−1 would defer a multi-gigabyte
+// allocation to the first Replay/GraphAt call. The bound is a decoder
+// sanity limit for untrusted input only — traces built in memory via
+// NewTrace are not restricted — and sits far above the simulator's
+// largest experiment sizes.
+const MaxDecodeNodes = 1 << 20
+
+// DecodeTrace reads a trace from the binary wire format. The input is
+// treated as untrusted: element counts, node ids, edge keys and the
+// delta encoding are validated, and corrupt input yields an error rather
+// than an oversized allocation here or a panic in a later Replay.
 func DecodeTrace(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(traceMagic))
@@ -161,48 +187,73 @@ func DecodeTrace(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	if n64 > MaxDecodeNodes {
+		return nil, fmt.Errorf("dyngraph: trace node universe %d exceeds decode limit %d", n64, MaxDecodeNodes)
+	}
 	rounds, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
 	}
 	t := NewTrace(int(n64))
+	if rounds < decodePrealloc {
+		t.rounds = make([]step, 0, rounds)
+	}
 	for i := uint64(0); i < rounds; i++ {
 		var st step
 		wn, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, err
 		}
+		if wn < decodePrealloc {
+			st.wake = make([]graph.NodeID, 0, wn)
+		}
 		for j := uint64(0); j < wn; j++ {
 			v, err := binary.ReadUvarint(br)
 			if err != nil {
 				return nil, err
 			}
+			if v >= n64 {
+				return nil, fmt.Errorf("dyngraph: trace round %d: wake id %d outside [0,%d)", i+1, v, n64)
+			}
 			st.wake = append(st.wake, graph.NodeID(uint32(v)))
 		}
-		if st.added, err = readEdgeList(br); err != nil {
-			return nil, err
+		if st.added, err = readEdgeList(br, n64); err != nil {
+			return nil, fmt.Errorf("dyngraph: trace round %d added edges: %w", i+1, err)
 		}
-		if st.removed, err = readEdgeList(br); err != nil {
-			return nil, err
+		if st.removed, err = readEdgeList(br, n64); err != nil {
+			return nil, fmt.Errorf("dyngraph: trace round %d removed edges: %w", i+1, err)
 		}
 		t.rounds = append(t.rounds, st)
 	}
 	return t, nil
 }
 
-func readEdgeList(br *bufio.Reader) ([]graph.EdgeKey, error) {
+func readEdgeList(br *bufio.Reader, n uint64) ([]graph.EdgeKey, error) {
 	cnt, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]graph.EdgeKey, 0, cnt)
+	var out []graph.EdgeKey
+	if cnt < decodePrealloc {
+		out = make([]graph.EdgeKey, 0, cnt)
+	}
 	prev := uint64(0)
 	for i := uint64(0); i < cnt; i++ {
 		d, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, err
 		}
+		if i > 0 && d == 0 {
+			return nil, fmt.Errorf("dyngraph: duplicate edge key %#x in delta encoding", prev)
+		}
+		if d > math.MaxUint64-prev {
+			return nil, errors.New("dyngraph: edge-key delta overflows")
+		}
 		prev += d
+		u, v := prev>>32, prev&0xffffffff
+		if u >= v || v >= n {
+			return nil, fmt.Errorf("dyngraph: edge key %#x invalid for %d nodes", prev, n)
+		}
 		out = append(out, graph.EdgeKey(prev))
 	}
 	return out, nil

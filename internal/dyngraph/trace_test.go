@@ -2,12 +2,14 @@ package dyngraph
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"testing"
 
 	"dynlocal/internal/graph"
 )
 
-func buildSampleTrace(t *testing.T, seed uint64, n, rounds int) (*Trace, []*graph.Graph) {
+func buildSampleTrace(t testing.TB, seed uint64, n, rounds int) (*Trace, []*graph.Graph) {
 	t.Helper()
 	s := wstream(seed)
 	tr := NewTrace(n)
@@ -100,6 +102,116 @@ func TestTraceDecodeRejectsGarbage(t *testing.T) {
 	// Valid magic, truncated body.
 	if _, err := DecodeTrace(bytes.NewReader([]byte("DYNT"))); err == nil {
 		t.Fatal("expected error for truncated trace")
+	}
+}
+
+// TestTraceGraphAtMatchesReplay pins GraphAt/Replay equivalence on a
+// recorded churn-style schedule (random edge toggles on a base graph, the
+// kind of trace adversary.Scripted replays).
+func TestTraceGraphAtMatchesReplay(t *testing.T) {
+	const n = 32
+	const rounds = 20
+	s := wstream(55)
+	base := graph.GNP(n, 0.15, s)
+	tr := NewTrace(n)
+	prev := (*graph.Graph)(nil)
+	cur := base
+	for r := 1; r <= rounds; r++ {
+		var wake []graph.NodeID
+		if r == 1 {
+			wake = allNodes(n)
+		}
+		tr.Append(prev, cur, wake)
+		prev = cur
+		// Churn: toggle a handful of random edges for the next round.
+		b := graph.NewBuilder(n)
+		cur.EachEdge(func(u, v graph.NodeID) { b.AddEdge(u, v) })
+		for i := 0; i < 6; i++ {
+			u := graph.NodeID(s.Intn(n))
+			v := graph.NodeID(s.Intn(n))
+			if u == v {
+				continue
+			}
+			if b.HasEdge(u, v) {
+				b.RemoveEdge(u, v)
+			} else {
+				b.AddEdge(u, v)
+			}
+		}
+		cur = b.Graph()
+	}
+	tr.Replay(func(r int, g *graph.Graph, _ []graph.NodeID) {
+		if got := tr.GraphAt(r); !got.Equal(g) {
+			t.Fatalf("GraphAt(%d) differs from Replay:\ngot  %s\nwant %s",
+				r, got.DebugString(), g.DebugString())
+		}
+	})
+}
+
+// corruptTrace builds a syntactically valid header followed by the given
+// varint fields.
+func corruptTrace(fields ...uint64) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(traceMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, f := range fields {
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], f)])
+	}
+	return buf.Bytes()
+}
+
+func TestTraceDecodeRejectsCorruptInput(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		// version 1, n too large for int32 node ids.
+		{"n-overflow", corruptTrace(1, 1<<33, 0)},
+		// n above the decode sanity limit: a 14-byte header must not be
+		// able to schedule an O(n) allocation for the first Replay.
+		{"n-over-decode-limit", corruptTrace(1, MaxDecodeNodes+1, 1, 0, 0, 0)},
+		// n=4, 1 round, wake count 1, wake id 9 >= n.
+		{"wake-out-of-range", corruptTrace(1, 4, 1, 1, 9)},
+		// n=4, 1 round, no wakes, 1 added edge with key {2,2} (u == v).
+		{"self-loop-key", corruptTrace(1, 4, 1, 0, 1, 2<<32|2)},
+		// n=4, 1 round, no wakes, 1 added edge with endpoint 7 >= n.
+		{"endpoint-out-of-range", corruptTrace(1, 4, 1, 0, 1, 1<<32|7)},
+		// n=4, 1 round, no wakes, added list with a zero delta (duplicate).
+		{"duplicate-edge", corruptTrace(1, 4, 1, 0, 2, 1<<32|2, 0)},
+		// n=4, 1 round, no wakes, added deltas overflowing uint64.
+		{"delta-overflow", corruptTrace(1, 4, 1, 0, 2, math.MaxUint64, 2)},
+		// Huge claimed counts with no data behind them must fail on EOF,
+		// not allocate. (A 20-byte file claiming 2^40 edges was a crash.)
+		{"truncated-huge-edge-count", corruptTrace(1, 4, 1, 0, 1<<40)},
+		{"truncated-huge-wake-count", corruptTrace(1, 4, 1, 1<<40)},
+		{"truncated-huge-round-count", corruptTrace(1, 4, 1<<40)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tr, err := DecodeTrace(bytes.NewReader(c.data))
+			if err == nil {
+				t.Fatalf("corrupt trace accepted: %+v", tr)
+			}
+		})
+	}
+}
+
+// TestTraceDecodeValidTraceReplays pins that a decoded well-formed trace
+// replays without panicking even through the validation path.
+func TestTraceDecodeValidTraceReplays(t *testing.T) {
+	tr, _ := buildSampleTrace(t, 8, 12, 6)
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := 0
+	got.Replay(func(int, *graph.Graph, []graph.NodeID) { rounds++ })
+	if rounds != 6 {
+		t.Fatalf("replayed %d rounds, want 6", rounds)
 	}
 }
 

@@ -6,36 +6,87 @@
 // δ-fraction generalization sketched as future work in Section 7.2, and a
 // binary trace format for recording and replaying dynamic graph sequences.
 //
-// Window maintenance is incremental: per round the cost is O(|E_r|) map
-// updates plus an amortized purge, rather than recomputing intersections and
-// unions of T graphs. The equivalence with the direct Definition 2.1
-// computation is property-tested against graph.IntersectAll/UnionAll.
+// Window maintenance is incremental and delta-producing: besides answering
+// membership queries and materializing the window graphs, Observe reports
+// the round-over-round set differences of E^∩T, E^∪T and V^∩T as a Delta.
+// Per round the cost is O(|E_r| + |E_{r-1}|) map and merge work plus O(1)
+// amortized per topology change — no per-round rescan of the window
+// contents. Downstream checkers (internal/verify) consume the deltas to
+// maintain violation state in O(changes·Δ) instead of rebuilding and
+// rescanning the window graphs, which is the difference between O(#changes)
+// and O(n+m) verification per round (cf. the incremental-maintenance
+// framing of Censor-Hillel et al., "Fast Deterministic Algorithms for
+// Highly-Dynamic Networks").
+//
+// Delta slices are internal buffers reused on the next Observe: observers
+// may iterate them during the round but must copy anything they retain.
+// The equivalence of both the materialized graphs and the emitted deltas
+// with the direct Definition 2.1 computation is property-tested against
+// graph.IntersectAll/UnionAll.
 package dyngraph
 
 import (
 	"fmt"
+	"slices"
 
 	"dynlocal/internal/graph"
 )
 
-// edgeSpan tracks when an edge was last observed and since when it has been
-// observed in every consecutive round.
+// edgeSpan tracks when an edge was last observed, since when it has been
+// observed in every consecutive round, and whether it is currently a member
+// of the intersection graph E^∩T.
 type edgeSpan struct {
 	lastSeen    int
 	streakStart int
+	inInter     bool
+}
+
+// Delta lists the round-over-round changes of the windowed sets after one
+// Observe call. All slices are sorted ascending and alias buffers owned by
+// the Window: they are valid until the next Observe and must be copied to
+// be retained.
+//
+// CoreLeft is always empty in the paper's model — wake-ups are monotone
+// (V_{r-1} ⊆ V_r) and the window start only advances, so V^∩T never loses
+// nodes — but is part of the contract so observers need not encode that
+// argument themselves.
+type Delta struct {
+	Round int
+	// CoreEntered lists nodes that joined V^∩T_r this round.
+	CoreEntered []graph.NodeID
+	// CoreLeft lists nodes that left V^∩T_r this round (never in this model).
+	CoreLeft []graph.NodeID
+	// InterAdded and InterRemoved list edges entering/leaving E^∩T_r.
+	InterAdded, InterRemoved []graph.EdgeKey
+	// UnionAdded and UnionRemoved list edges entering/leaving E^∪T_r.
+	UnionAdded, UnionRemoved []graph.EdgeKey
 }
 
 // Window incrementally maintains G^∩T_r and G^∪T_r over an observed round
 // sequence. Rounds are 1-based: the first Observe call is round 1 and
 // round 0 is the empty graph G_0 = (∅, ∅) of the model.
+//
+// Invariant: after every Observe, the spans map holds exactly the edges of
+// E^∪T_r, and an edgeSpan's inInter flag holds exactly for E^∩T_r.
 type Window struct {
-	t         int
-	n         int
-	round     int
-	spans     map[graph.EdgeKey]edgeSpan
-	wake      []int // wake[v] = round v woke up, 0 if still asleep
-	lastPurge int
-	scratch   []graph.EdgeKey // reused by graph materialization
+	t       int
+	n       int
+	round   int
+	spans   map[graph.EdgeKey]edgeSpan
+	wake    []int           // wake[v] = round v woke up, 0 if still asleep
+	scratch []graph.EdgeKey // reused by graph materialization
+
+	// Delta machinery. prevEdges holds G_{r-1}'s sorted edge keys;
+	// expiry[j%t] holds edges whose presence streak ended in round j —
+	// pushed when the edge drops out of the round graph, examined exactly
+	// once t rounds later when the streak's last round leaves the union
+	// window. byWake buckets woken nodes by wake round; bucket r0 is
+	// consumed (the nodes join V^∩T) in round r0+t-1.
+	prevEdges []graph.EdgeKey
+	curEdges  []graph.EdgeKey
+	expiry    [][]graph.EdgeKey
+	byWake    map[int][]graph.NodeID
+	delta     Delta
 }
 
 // NewWindow creates a window of size t >= 1 over a node universe of size n.
@@ -43,7 +94,14 @@ func NewWindow(t, n int) *Window {
 	if t < 1 {
 		panic(fmt.Sprintf("dyngraph: window size %d < 1", t))
 	}
-	return &Window{t: t, n: n, spans: make(map[graph.EdgeKey]edgeSpan), wake: make([]int, n)}
+	return &Window{
+		t:      t,
+		n:      n,
+		spans:  make(map[graph.EdgeKey]edgeSpan),
+		wake:   make([]int, n),
+		expiry: make([][]graph.EdgeKey, t),
+		byWake: make(map[int][]graph.NodeID),
+	}
 }
 
 // T returns the window size.
@@ -74,45 +132,116 @@ func (w *Window) windowStart() int {
 // never been woken are rejected with a panic: the model only allows edges
 // between awake nodes.
 func (w *Window) Observe(g *graph.Graph, wakeNow []graph.NodeID) {
+	w.ObserveDelta(g, wakeNow)
+}
+
+// ObserveDelta advances the window exactly as Observe and additionally
+// reports the membership changes of E^∩T, E^∪T and V^∩T relative to the
+// previous round. The returned Delta aliases buffers reused by the next
+// Observe call; copy anything retained beyond the round.
+func (w *Window) ObserveDelta(g *graph.Graph, wakeNow []graph.NodeID) *Delta {
 	if g.N() != w.n {
 		panic("dyngraph: graph node space does not match window")
 	}
 	w.round++
 	r := w.round
+	d := &w.delta
+	d.Round = r
+	d.CoreEntered = d.CoreEntered[:0]
+	d.CoreLeft = d.CoreLeft[:0]
+	d.InterAdded = d.InterAdded[:0]
+	d.InterRemoved = d.InterRemoved[:0]
+	d.UnionAdded = d.UnionAdded[:0]
+	d.UnionRemoved = d.UnionRemoved[:0]
+
 	for _, v := range wakeNow {
 		if w.wake[v] == 0 {
 			w.wake[v] = r
+			w.byWake[r] = append(w.byWake[r], v)
 		}
 	}
+
+	r0 := w.windowStart()
+	// The union window of round r-1 was [max(1, r-t), r-1]: an edge whose
+	// lastSeen is below prevUnionLow was not in E^∪T_{r-1}.
+	prevUnionLow := r - w.t
+	if prevUnionLow < 1 {
+		prevUnionLow = 1
+	}
+
+	cur := w.curEdges[:0]
 	g.EachEdge(func(u, v graph.NodeID) {
 		if w.wake[u] == 0 || w.wake[v] == 0 {
 			panic(fmt.Sprintf("dyngraph: edge {%d,%d} touches a sleeping node in round %d", u, v, r))
 		}
 		k := graph.MakeEdgeKey(u, v)
+		cur = append(cur, k)
 		sp, ok := w.spans[k]
 		if !ok || sp.lastSeen != r-1 {
 			sp.streakStart = r
 		}
+		if !ok || sp.lastSeen < prevUnionLow {
+			d.UnionAdded = append(d.UnionAdded, k)
+		}
+		if r >= w.t && sp.streakStart <= r0 && !sp.inInter {
+			sp.inInter = true
+			d.InterAdded = append(d.InterAdded, k)
+		}
 		sp.lastSeen = r
 		w.spans[k] = sp
 	})
-	// Amortized purge of edges that fell out of every possible window.
-	if r-w.lastPurge >= w.t {
-		w.purge()
-		w.lastPurge = r
-	}
-}
 
-func (w *Window) purge() {
-	r0 := w.windowStart()
-	if r0 < 1 {
-		r0 = 1
+	// Edges of G_{r-1} missing from G_r: their presence streak ended in
+	// round r-1, which breaks intersection membership now and schedules
+	// union expiry for round r-1+t. Both lists are sorted, so a two-pointer
+	// merge finds the difference without allocation.
+	push := w.expiry[(r-1)%w.t]
+	j := 0
+	for _, k := range w.prevEdges {
+		for j < len(cur) && cur[j] < k {
+			j++
+		}
+		if j < len(cur) && cur[j] == k {
+			continue
+		}
+		if sp := w.spans[k]; sp.inInter {
+			sp.inInter = false
+			w.spans[k] = sp
+			d.InterRemoved = append(d.InterRemoved, k)
+		}
+		push = append(push, k)
 	}
-	for k, sp := range w.spans {
-		if sp.lastSeen < r0 {
-			delete(w.spans, k)
+	w.expiry[(r-1)%w.t] = push
+
+	// Union expiry: edges whose last streak ended in round r-t leave E^∪T
+	// now. Entries whose edge was re-observed since are stale (the live
+	// entry sits in a younger slot) and are skipped by the lastSeen check.
+	// An edge re-observed in round r itself was updated above, so it fails
+	// the check too — the scan order matters.
+	slot := w.expiry[r%w.t]
+	if len(slot) > 0 {
+		for _, k := range slot {
+			if sp, ok := w.spans[k]; ok && sp.lastSeen == r-w.t {
+				delete(w.spans, k)
+				d.UnionRemoved = append(d.UnionRemoved, k)
+			}
+		}
+		w.expiry[r%w.t] = slot[:0]
+	}
+
+	// Core arrivals: nodes woken in round r0 have now been awake for t
+	// rounds. r0 advances by exactly one per round once r >= t, so every
+	// wake bucket is consumed exactly once.
+	if r >= w.t {
+		if nodes := w.byWake[r0]; len(nodes) > 0 {
+			slices.Sort(nodes)
+			d.CoreEntered = append(d.CoreEntered, nodes...)
+			delete(w.byWake, r0)
 		}
 	}
+
+	w.prevEdges, w.curEdges = cur, w.prevEdges
+	return d
 }
 
 // AwakeSince reports the round node v woke up, or 0 if asleep.
@@ -144,11 +273,10 @@ func (w *Window) InCore(v graph.NodeID) bool {
 // InIntersection reports whether {u,v} ∈ E^∩T_r. Empty until round T
 // (the window still contains the paper's empty round 0 before that).
 func (w *Window) InIntersection(u, v graph.NodeID) bool {
-	if u == v || w.round < w.t {
+	if u == v {
 		return false
 	}
-	sp, ok := w.spans[graph.MakeEdgeKey(u, v)]
-	return ok && sp.lastSeen == w.round && sp.streakStart <= w.windowStart()
+	return w.spans[graph.MakeEdgeKey(u, v)].inInter
 }
 
 // InUnion reports whether {u,v} ∈ E^∪T_r.
@@ -156,24 +284,16 @@ func (w *Window) InUnion(u, v graph.NodeID) bool {
 	if u == v {
 		return false
 	}
-	sp, ok := w.spans[graph.MakeEdgeKey(u, v)]
-	r0 := w.windowStart()
-	if r0 < 1 {
-		r0 = 1
-	}
-	return ok && sp.lastSeen >= r0
+	_, ok := w.spans[graph.MakeEdgeKey(u, v)]
+	return ok
 }
 
 // IntersectionGraph materializes G^∩T_r (empty before round T). The key
 // scratch buffer is reused across calls; the returned graph is fresh.
 func (w *Window) IntersectionGraph() *graph.Graph {
-	if w.round < w.t {
-		return graph.Empty(w.n)
-	}
-	r0 := w.windowStart()
 	keys := w.scratch[:0]
 	for k, sp := range w.spans {
-		if sp.lastSeen == w.round && sp.streakStart <= r0 {
+		if sp.inInter {
 			keys = append(keys, k)
 		}
 	}
@@ -185,15 +305,9 @@ func (w *Window) IntersectionGraph() *graph.Graph {
 // covering checker evaluates it on CoreNodes, matching Definition 2.1's
 // vertex set V^∩T_r).
 func (w *Window) UnionGraph() *graph.Graph {
-	r0 := w.windowStart()
-	if r0 < 1 {
-		r0 = 1
-	}
 	keys := w.scratch[:0]
-	for k, sp := range w.spans {
-		if sp.lastSeen >= r0 {
-			keys = append(keys, k)
-		}
+	for k := range w.spans {
+		keys = append(keys, k)
 	}
 	w.scratch = keys
 	return graph.FromEdges(w.n, keys)
@@ -213,18 +327,10 @@ type Stats struct {
 
 // Stats computes the current summary.
 func (w *Window) Stats() Stats {
-	r0 := w.windowStart()
-	full := w.round >= w.t
-	if r0 < 1 {
-		r0 = 1
-	}
-	st := Stats{Round: w.round}
+	st := Stats{Round: w.round, UnionEdges: len(w.spans)}
 	for _, sp := range w.spans {
-		if sp.lastSeen >= r0 {
-			st.UnionEdges++
-			if full && sp.lastSeen == w.round && sp.streakStart <= r0 {
-				st.IntersectionEdges++
-			}
+		if sp.inInter {
+			st.IntersectionEdges++
 		}
 	}
 	st.CoreNodes = len(w.CoreNodes())

@@ -231,6 +231,165 @@ func TestNewWindowValidation(t *testing.T) {
 	NewWindow(0, 5)
 }
 
+// deltaMirror folds Window deltas into running sets, to check that the
+// emitted events reconstruct the windowed sets exactly.
+type deltaMirror struct {
+	inter map[graph.EdgeKey]bool
+	union map[graph.EdgeKey]bool
+	core  map[graph.NodeID]bool
+}
+
+func newDeltaMirror() *deltaMirror {
+	return &deltaMirror{
+		inter: make(map[graph.EdgeKey]bool),
+		union: make(map[graph.EdgeKey]bool),
+		core:  make(map[graph.NodeID]bool),
+	}
+}
+
+func (m *deltaMirror) apply(t *testing.T, d *Delta) {
+	t.Helper()
+	for _, k := range d.InterAdded {
+		if m.inter[k] {
+			t.Fatalf("round %d: inter add of present edge %v", d.Round, k)
+		}
+		m.inter[k] = true
+	}
+	for _, k := range d.InterRemoved {
+		if !m.inter[k] {
+			t.Fatalf("round %d: inter remove of absent edge %v", d.Round, k)
+		}
+		delete(m.inter, k)
+	}
+	for _, k := range d.UnionAdded {
+		if m.union[k] {
+			t.Fatalf("round %d: union add of present edge %v", d.Round, k)
+		}
+		m.union[k] = true
+	}
+	for _, k := range d.UnionRemoved {
+		if !m.union[k] {
+			t.Fatalf("round %d: union remove of absent edge %v", d.Round, k)
+		}
+		delete(m.union, k)
+	}
+	for _, v := range d.CoreEntered {
+		if m.core[v] {
+			t.Fatalf("round %d: core enter of member %d", d.Round, v)
+		}
+		m.core[v] = true
+	}
+	if len(d.CoreLeft) != 0 {
+		t.Fatalf("round %d: core shrank: %v", d.Round, d.CoreLeft)
+	}
+}
+
+func (m *deltaMirror) check(t *testing.T, w *Window) {
+	t.Helper()
+	inter, union := w.IntersectionGraph(), w.UnionGraph()
+	if inter.M() != len(m.inter) || union.M() != len(m.union) {
+		t.Fatalf("round %d: delta sets |∩|=%d |∪|=%d, graphs |∩|=%d |∪|=%d",
+			w.Round(), len(m.inter), len(m.union), inter.M(), union.M())
+	}
+	for k := range m.inter {
+		u, v := k.Nodes()
+		if !inter.HasEdge(u, v) {
+			t.Fatalf("round %d: delta-set edge %v not in intersection graph", w.Round(), k)
+		}
+	}
+	for k := range m.union {
+		u, v := k.Nodes()
+		if !union.HasEdge(u, v) {
+			t.Fatalf("round %d: delta-set edge %v not in union graph", w.Round(), k)
+		}
+	}
+	core := w.CoreNodes()
+	if len(core) != len(m.core) {
+		t.Fatalf("round %d: delta core size %d, CoreNodes %d", w.Round(), len(m.core), len(core))
+	}
+	for _, v := range core {
+		if !m.core[v] {
+			t.Fatalf("round %d: core node %d missing from delta set", w.Round(), v)
+		}
+	}
+}
+
+// TestWindowDeltasReconstructSets drives ObserveDelta over a churn-style
+// schedule with staggered wake-ups and checks that folding the emitted
+// events reproduces the materialized window sets every round.
+func TestWindowDeltasReconstructSets(t *testing.T) {
+	for _, T := range []int{1, 2, 3, 5, 8} {
+		const n = 24
+		s := wstream(uint64(200 + T))
+		w := NewWindow(T, n)
+		m := newDeltaMirror()
+		awake := make([]bool, n)
+		for round := 1; round <= 4*T+10; round++ {
+			// Wake three nodes per round until all are awake.
+			var wake []graph.NodeID
+			for i := 0; i < 3; i++ {
+				v := graph.NodeID((round-1)*3 + i)
+				if int(v) < n {
+					wake = append(wake, v)
+					awake[v] = true
+				}
+			}
+			// Random graph restricted to awake nodes.
+			var keys []graph.EdgeKey
+			for u := 0; u < n; u++ {
+				for v := u + 1; v < n; v++ {
+					if awake[u] && awake[v] && s.Intn(5) == 0 {
+						keys = append(keys, graph.MakeEdgeKey(graph.NodeID(u), graph.NodeID(v)))
+					}
+				}
+			}
+			d := w.ObserveDelta(graph.FromSortedEdges(n, keys), wake)
+			if d.Round != round {
+				t.Fatalf("delta round = %d, want %d", d.Round, round)
+			}
+			m.apply(t, d)
+			m.check(t, w)
+		}
+	}
+}
+
+// TestWindowDeltaSlicesSorted pins the documented ascending order of every
+// delta slice.
+func TestWindowDeltaSlicesSorted(t *testing.T) {
+	const n = 20
+	const T = 4
+	s := wstream(99)
+	w := NewWindow(T, n)
+	sortedKeys := func(ks []graph.EdgeKey) bool {
+		for i := 1; i < len(ks); i++ {
+			if ks[i-1] >= ks[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for round := 1; round <= 16; round++ {
+		var wake []graph.NodeID
+		if round == 1 {
+			wake = allNodes(n)
+		}
+		d := w.ObserveDelta(graph.GNP(n, 0.25, s), wake)
+		for name, ks := range map[string][]graph.EdgeKey{
+			"InterAdded": d.InterAdded, "InterRemoved": d.InterRemoved,
+			"UnionAdded": d.UnionAdded, "UnionRemoved": d.UnionRemoved,
+		} {
+			if !sortedKeys(ks) {
+				t.Fatalf("round %d: %s not strictly ascending: %v", round, name, ks)
+			}
+		}
+		for i := 1; i < len(d.CoreEntered); i++ {
+			if d.CoreEntered[i-1] >= d.CoreEntered[i] {
+				t.Fatalf("round %d: CoreEntered not ascending: %v", round, d.CoreEntered)
+			}
+		}
+	}
+}
+
 func BenchmarkWindowObserve(b *testing.B) {
 	const n = 2048
 	s := wstream(1)

@@ -6,6 +6,12 @@
 // partial-packing and partial-covering conditions of Definition 3.2 that
 // network-static algorithms must maintain every round.
 //
+// Each component comes in two checking forms: a batch CheckFull scan of a
+// materialized graph, and an incremental Tracker that maintains the same
+// violation set under edge and output deltas in O(changes·Δ) per round —
+// the verification hot path of the T-dynamic checker. CheckFull remains
+// the oracle the trackers are property-tested against.
+//
 // The two instantiations from the paper are provided:
 //
 //   - MIS = independent set (packing M_P) ∩ dominating set (covering M_C),
@@ -72,6 +78,9 @@ type Packing interface {
 	// Definition 3.2: there must exist an extension of out in which the
 	// LCL condition holds for every node with a non-Bot output.
 	CheckPartial(g *graph.Graph, out []Value) []Violation
+	// NewTracker returns an incremental CheckFull maintainer over a node
+	// universe of size n; see Tracker for the event contract.
+	NewTracker(n int) Tracker
 }
 
 // Covering is a distributed graph problem whose solutions remain solutions
@@ -84,6 +93,8 @@ type Covering interface {
 	// Definition 3.2: the LCL condition must hold for every node with a
 	// non-Bot output under every extension of out.
 	CheckPartial(g *graph.Graph, out []Value) []Violation
+	// NewTracker is as for Packing.NewTracker.
+	NewTracker(n int) Tracker
 }
 
 // PC bundles the packing and covering components of one combined problem,

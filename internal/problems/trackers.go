@@ -1,0 +1,435 @@
+package problems
+
+import (
+	"fmt"
+	"slices"
+
+	"dynlocal/internal/graph"
+)
+
+// Tracker incrementally maintains the violation set of one problem
+// component over a mutating graph and output vector, so a round with k
+// changes costs O(k·Δ) updates instead of a full CheckFull rescan of the
+// graph. The verify package feeds it the edge deltas of the windowed
+// graphs (G^∩T for packing, G^∪T for covering) and the output deltas of
+// the algorithm.
+//
+// The contract mirrors CheckFull filtered through the T-dynamic checker's
+// Bot handling: Violations returns, in exactly CheckFull's order (unary
+// violations by ascending node, then pairwise violations by ascending edge
+// key), the violations CheckFull(g, out, nodes) would report among the
+// activated nodes, minus the reports for nodes whose output is Bot
+// (undecided nodes are accounted separately by the checker).
+//
+// Event semantics:
+//
+//   - Activate(v): v joins the checked node set (V^∩T in the T-dynamic
+//     problem). Nodes never deactivate — the paper's wake-ups are monotone
+//     and the window start only advances.
+//   - EdgeAdded/EdgeRemoved: the tracked graph gained/lost edge {u, v}.
+//   - OutputChanged(v, val): node v's output is now val. Outputs start at
+//     Bot. Changes may be reported in any order within a round; the state
+//     converges once every changed node has been reported.
+//
+// All state updates are O(Δ) in the degree of the touched node;
+// Violations is O(1) when the violation set is empty and
+// O(V + sort(conflicts)) otherwise.
+type Tracker interface {
+	Activate(v graph.NodeID)
+	EdgeAdded(u, v graph.NodeID)
+	EdgeRemoved(u, v graph.NodeID)
+	OutputChanged(v graph.NodeID, val Value)
+	Violations() []Violation
+}
+
+// dynAdj mirrors a dynamically maintained graph as mutable per-node
+// neighbor lists fed by edge events. Removal is a linear scan of the
+// endpoint's list — O(Δ) per event, and neighbor order is not meaningful.
+type dynAdj struct {
+	nbr [][]graph.NodeID
+}
+
+func newDynAdj(n int) dynAdj { return dynAdj{nbr: make([][]graph.NodeID, n)} }
+
+func (a *dynAdj) add(u, v graph.NodeID) {
+	a.nbr[u] = append(a.nbr[u], v)
+	a.nbr[v] = append(a.nbr[v], u)
+}
+
+func (a *dynAdj) remove(u, v graph.NodeID) {
+	a.removeHalf(u, v)
+	a.removeHalf(v, u)
+}
+
+func (a *dynAdj) removeHalf(u, v graph.NodeID) {
+	row := a.nbr[u]
+	for i, w := range row {
+		if w == v {
+			row[i] = row[len(row)-1]
+			a.nbr[u] = row[:len(row)-1]
+			return
+		}
+	}
+	panic(fmt.Sprintf("problems: removal of untracked edge {%d,%d}", u, v))
+}
+
+// nodeFlags is a boolean-per-node violation set with a popcount, so the
+// common all-clear case is a single comparison at report time.
+type nodeFlags struct {
+	flag  []bool
+	count int
+}
+
+func newNodeFlags(n int) nodeFlags { return nodeFlags{flag: make([]bool, n)} }
+
+func (f *nodeFlags) set(v graph.NodeID, bad bool) {
+	if f.flag[v] == bad {
+		return
+	}
+	f.flag[v] = bad
+	if bad {
+		f.count++
+	} else {
+		f.count--
+	}
+}
+
+// sortedEdgeKeys returns the map's keys ascending, reusing scratch.
+func sortedEdgeKeys(m map[graph.EdgeKey]struct{}, scratch []graph.EdgeKey) []graph.EdgeKey {
+	keys := scratch[:0]
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// --- Independent set (packing M_P) ---------------------------------------
+
+type independentSetTracker struct {
+	vals      []Value
+	active    []bool
+	adj       dynAdj
+	invalid   nodeFlags // active nodes with out-of-domain values
+	conflicts map[graph.EdgeKey]struct{}
+	scratch   []graph.EdgeKey
+}
+
+// NewTracker returns the incremental checker for M_P.
+func (IndependentSet) NewTracker(n int) Tracker {
+	return &independentSetTracker{
+		vals:      make([]Value, n),
+		active:    make([]bool, n),
+		adj:       newDynAdj(n),
+		invalid:   newNodeFlags(n),
+		conflicts: make(map[graph.EdgeKey]struct{}),
+	}
+}
+
+func (t *independentSetTracker) evalUnary(v graph.NodeID) {
+	val := t.vals[v]
+	t.invalid.set(v, t.active[v] && val != Bot && val != InMIS && val != Dominated)
+}
+
+func (t *independentSetTracker) evalPair(u, v graph.NodeID) {
+	k := graph.MakeEdgeKey(u, v)
+	if t.active[u] && t.active[v] && t.vals[u] == InMIS && t.vals[v] == InMIS {
+		t.conflicts[k] = struct{}{}
+	} else {
+		delete(t.conflicts, k)
+	}
+}
+
+func (t *independentSetTracker) Activate(v graph.NodeID) {
+	t.active[v] = true
+	t.evalUnary(v)
+	for _, u := range t.adj.nbr[v] {
+		t.evalPair(u, v)
+	}
+}
+
+func (t *independentSetTracker) EdgeAdded(u, v graph.NodeID) {
+	t.adj.add(u, v)
+	t.evalPair(u, v)
+}
+
+func (t *independentSetTracker) EdgeRemoved(u, v graph.NodeID) {
+	t.adj.remove(u, v)
+	delete(t.conflicts, graph.MakeEdgeKey(u, v))
+}
+
+func (t *independentSetTracker) OutputChanged(v graph.NodeID, val Value) {
+	t.vals[v] = val
+	t.evalUnary(v)
+	for _, u := range t.adj.nbr[v] {
+		t.evalPair(u, v)
+	}
+}
+
+func (t *independentSetTracker) Violations() []Violation {
+	if t.invalid.count == 0 && len(t.conflicts) == 0 {
+		return nil
+	}
+	var bad []Violation
+	if t.invalid.count > 0 {
+		for v, f := range t.invalid.flag {
+			if f {
+				bad = append(bad, Violation{Node: graph.NodeID(v), Peer: NoPeer,
+					Reason: fmt.Sprintf("invalid MIS value %d", t.vals[v])})
+			}
+		}
+	}
+	t.scratch = sortedEdgeKeys(t.conflicts, t.scratch)
+	for _, k := range t.scratch {
+		u, v := k.Nodes()
+		bad = append(bad, Violation{Node: u, Peer: v, Reason: "adjacent MIS nodes"})
+	}
+	return bad
+}
+
+// --- Dominating set (covering M_C) ---------------------------------------
+
+type dominatingSetTracker struct {
+	vals    []Value
+	active  []bool
+	adj     dynAdj
+	misNbrs []int32 // neighbors with value InMIS, counted over all nodes
+	flags   nodeFlags
+}
+
+// NewTracker returns the incremental checker for M_C.
+func (DominatingSet) NewTracker(n int) Tracker {
+	return &dominatingSetTracker{
+		vals:    make([]Value, n),
+		active:  make([]bool, n),
+		adj:     newDynAdj(n),
+		misNbrs: make([]int32, n),
+		flags:   newNodeFlags(n),
+	}
+}
+
+func (t *dominatingSetTracker) eval(v graph.NodeID) {
+	if !t.active[v] {
+		return
+	}
+	switch t.vals[v] {
+	case Bot, InMIS:
+		t.flags.set(v, false)
+	case Dominated:
+		t.flags.set(v, t.misNbrs[v] == 0)
+	default:
+		t.flags.set(v, true)
+	}
+}
+
+func (t *dominatingSetTracker) Activate(v graph.NodeID) {
+	t.active[v] = true
+	t.eval(v)
+}
+
+func (t *dominatingSetTracker) EdgeAdded(u, v graph.NodeID) {
+	t.adj.add(u, v)
+	if t.vals[u] == InMIS {
+		t.misNbrs[v]++
+		t.eval(v)
+	}
+	if t.vals[v] == InMIS {
+		t.misNbrs[u]++
+		t.eval(u)
+	}
+}
+
+func (t *dominatingSetTracker) EdgeRemoved(u, v graph.NodeID) {
+	t.adj.remove(u, v)
+	if t.vals[u] == InMIS {
+		t.misNbrs[v]--
+		t.eval(v)
+	}
+	if t.vals[v] == InMIS {
+		t.misNbrs[u]--
+		t.eval(u)
+	}
+}
+
+func (t *dominatingSetTracker) OutputChanged(v graph.NodeID, val Value) {
+	was, is := t.vals[v] == InMIS, val == InMIS
+	t.vals[v] = val
+	if was != is {
+		d := int32(-1)
+		if is {
+			d = 1
+		}
+		for _, u := range t.adj.nbr[v] {
+			t.misNbrs[u] += d
+			t.eval(u)
+		}
+	}
+	t.eval(v)
+}
+
+func (t *dominatingSetTracker) Violations() []Violation {
+	if t.flags.count == 0 {
+		return nil
+	}
+	var bad []Violation
+	for v, f := range t.flags.flag {
+		if !f {
+			continue
+		}
+		switch t.vals[v] {
+		case Dominated:
+			bad = append(bad, Violation{Node: graph.NodeID(v), Peer: NoPeer,
+				Reason: "dominated without MIS neighbor"})
+		default:
+			bad = append(bad, Violation{Node: graph.NodeID(v), Peer: NoPeer,
+				Reason: fmt.Sprintf("invalid MIS value %d", t.vals[v])})
+		}
+	}
+	return bad
+}
+
+// --- Proper coloring (packing C_P) ---------------------------------------
+
+type properColoringTracker struct {
+	vals      []Value
+	active    []bool
+	adj       dynAdj
+	invalid   nodeFlags // active nodes with negative colors
+	conflicts map[graph.EdgeKey]struct{}
+	scratch   []graph.EdgeKey
+}
+
+// NewTracker returns the incremental checker for C_P.
+func (ProperColoring) NewTracker(n int) Tracker {
+	return &properColoringTracker{
+		vals:      make([]Value, n),
+		active:    make([]bool, n),
+		adj:       newDynAdj(n),
+		invalid:   newNodeFlags(n),
+		conflicts: make(map[graph.EdgeKey]struct{}),
+	}
+}
+
+func (t *properColoringTracker) evalPair(u, v graph.NodeID) {
+	k := graph.MakeEdgeKey(u, v)
+	if t.active[u] && t.active[v] && t.vals[u] != Bot && t.vals[u] == t.vals[v] {
+		t.conflicts[k] = struct{}{}
+	} else {
+		delete(t.conflicts, k)
+	}
+}
+
+func (t *properColoringTracker) Activate(v graph.NodeID) {
+	t.active[v] = true
+	t.invalid.set(v, t.vals[v] < 0)
+	for _, u := range t.adj.nbr[v] {
+		t.evalPair(u, v)
+	}
+}
+
+func (t *properColoringTracker) EdgeAdded(u, v graph.NodeID) {
+	t.adj.add(u, v)
+	t.evalPair(u, v)
+}
+
+func (t *properColoringTracker) EdgeRemoved(u, v graph.NodeID) {
+	t.adj.remove(u, v)
+	delete(t.conflicts, graph.MakeEdgeKey(u, v))
+}
+
+func (t *properColoringTracker) OutputChanged(v graph.NodeID, val Value) {
+	t.vals[v] = val
+	if t.active[v] {
+		t.invalid.set(v, val < 0)
+	}
+	for _, u := range t.adj.nbr[v] {
+		t.evalPair(u, v)
+	}
+}
+
+func (t *properColoringTracker) Violations() []Violation {
+	if t.invalid.count == 0 && len(t.conflicts) == 0 {
+		return nil
+	}
+	var bad []Violation
+	if t.invalid.count > 0 {
+		for v, f := range t.invalid.flag {
+			if f {
+				bad = append(bad, Violation{Node: graph.NodeID(v), Peer: NoPeer,
+					Reason: fmt.Sprintf("invalid color %d", t.vals[v])})
+			}
+		}
+	}
+	t.scratch = sortedEdgeKeys(t.conflicts, t.scratch)
+	for _, k := range t.scratch {
+		u, v := k.Nodes()
+		bad = append(bad, Violation{Node: u, Peer: v,
+			Reason: fmt.Sprintf("conflict: both colored %d", t.vals[u])})
+	}
+	return bad
+}
+
+// --- Degree range (covering C_C) -----------------------------------------
+
+type degreeRangeTracker struct {
+	vals   []Value
+	active []bool
+	deg    []int32
+	flags  nodeFlags
+}
+
+// NewTracker returns the incremental checker for C_C.
+func (DegreeRange) NewTracker(n int) Tracker {
+	return &degreeRangeTracker{
+		vals:   make([]Value, n),
+		active: make([]bool, n),
+		deg:    make([]int32, n),
+		flags:  newNodeFlags(n),
+	}
+}
+
+func (t *degreeRangeTracker) eval(v graph.NodeID) {
+	if !t.active[v] {
+		return
+	}
+	c := t.vals[v]
+	t.flags.set(v, c != Bot && (c < 1 || c > Value(t.deg[v]+1)))
+}
+
+func (t *degreeRangeTracker) Activate(v graph.NodeID) {
+	t.active[v] = true
+	t.eval(v)
+}
+
+func (t *degreeRangeTracker) EdgeAdded(u, v graph.NodeID) {
+	t.deg[u]++
+	t.deg[v]++
+	t.eval(u)
+	t.eval(v)
+}
+
+func (t *degreeRangeTracker) EdgeRemoved(u, v graph.NodeID) {
+	t.deg[u]--
+	t.deg[v]--
+	t.eval(u)
+	t.eval(v)
+}
+
+func (t *degreeRangeTracker) OutputChanged(v graph.NodeID, val Value) {
+	t.vals[v] = val
+	t.eval(v)
+}
+
+func (t *degreeRangeTracker) Violations() []Violation {
+	if t.flags.count == 0 {
+		return nil
+	}
+	var bad []Violation
+	for v, f := range t.flags.flag {
+		if f {
+			bad = append(bad, Violation{Node: graph.NodeID(v), Peer: NoPeer,
+				Reason: fmt.Sprintf("color %d outside {1,…,%d}", t.vals[v], t.deg[v]+1)})
+		}
+	}
+	return bad
+}

@@ -106,13 +106,12 @@ func FitLinear(x, y []float64) LinearFit {
 	if len(x) != len(y) || len(x) < 2 {
 		return LinearFit{Slope: math.NaN(), Intercept: math.NaN(), R2: math.NaN()}
 	}
-	var sx, sy, sxx, sxy, syy float64
+	var sx, sy, sxx, sxy float64
 	for i := range x {
 		sx += x[i]
 		sy += y[i]
 		sxx += x[i] * x[i]
 		sxy += x[i] * y[i]
-		syy += y[i] * y[i]
 	}
 	denom := n*sxx - sx*sx
 	if denom == 0 {

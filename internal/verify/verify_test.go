@@ -1,9 +1,12 @@
 package verify
 
 import (
+	"reflect"
 	"testing"
 
+	"dynlocal/internal/adversary"
 	"dynlocal/internal/graph"
+	"dynlocal/internal/prf"
 	"dynlocal/internal/problems"
 )
 
@@ -131,6 +134,110 @@ func TestTDynamicMIS(t *testing.T) {
 	rep = c2.Observe(g, nil, bad)
 	if len(rep.PackingViolations) == 0 {
 		t.Fatal("adjacent MIS nodes not flagged")
+	}
+}
+
+// advView is a minimal adversary.View for driving adversaries without the
+// engine: it tracks the round, the previous graph and the awake set.
+type advView struct {
+	round int
+	n     int
+	prev  *graph.Graph
+	awake []bool
+}
+
+func (v *advView) Round() int                       { return v.round }
+func (v *advView) N() int                           { return v.n }
+func (v *advView) PrevGraph() *graph.Graph          { return v.prev }
+func (v *advView) Awake(id graph.NodeID) bool       { return v.awake[id] }
+func (v *advView) DelayedOutputs() []problems.Value { return nil }
+
+// TestTDynamicIncrementalMatchesOracle drives the incremental checker and
+// the materializing oracle through identical adversarial schedules with
+// violation-heavy random outputs (⊥ flips, invalid values, conflicts) and
+// asserts the per-round TDynamicReports are bit-identical, including
+// violation order and reason strings.
+func TestTDynamicIncrementalMatchesOracle(t *testing.T) {
+	const n = 64
+	const T = 5
+	const rounds = 4*T + 30
+	mkBase := func(seed uint64) *graph.Graph {
+		return graph.GNP(n, 6.0/float64(n), prf.NewStream(seed, 0, 0, prf.PurposeWorkload))
+	}
+	schedules := []struct {
+		name string
+		mk   func(seed uint64) adversary.Adversary
+	}{
+		{"churn", func(seed uint64) adversary.Adversary {
+			return &adversary.Churn{Base: mkBase(seed), Add: 6, Del: 6, Seed: seed + 1}
+		}},
+		{"edge-markov", func(seed uint64) adversary.Adversary {
+			return &adversary.EdgeMarkov{Footprint: mkBase(seed), POn: 0.3, POff: 0.3, Seed: seed + 1}
+		}},
+		{"local-static", func(seed uint64) adversary.Adversary {
+			base := mkBase(seed)
+			return &adversary.LocalStatic{
+				Inner:     &adversary.Churn{Base: base, Add: 8, Del: 8, Seed: seed + 1},
+				Base:      base,
+				Protected: []graph.NodeID{3, n / 2},
+				Alpha:     2,
+			}
+		}},
+		{"staggered-wake", func(seed uint64) adversary.Adversary {
+			return &adversary.Wakeup{
+				Inner:    &adversary.Churn{Base: mkBase(seed), Add: 6, Del: 6, Seed: seed + 1},
+				Schedule: adversary.StaggeredSchedule(n, 4),
+			}
+		}},
+	}
+	cases := []struct {
+		name string
+		pc   problems.PC
+		vals []problems.Value
+	}{
+		{"coloring", problems.Coloring(), []problems.Value{problems.Bot, 1, 2, 3, 9, -2}},
+		{"mis", problems.MIS(), []problems.Value{problems.Bot, problems.InMIS, problems.Dominated, 7}},
+	}
+	for _, sc := range schedules {
+		for ci, pcase := range cases {
+			t.Run(sc.name+"/"+pcase.name, func(t *testing.T) {
+				seed := uint64(17 + ci)
+				adv := sc.mk(seed)
+				inc := NewTDynamic(pcase.pc, T, n)
+				orc := NewTDynamicOracle(pcase.pc, T, n)
+				view := &advView{n: n, prev: graph.Empty(n), awake: make([]bool, n)}
+				out := make([]problems.Value, n)
+				outStream := prf.NewStream(seed+99, 0, 0, prf.PurposeWorkload)
+				for r := 1; r <= rounds; r++ {
+					view.round = r
+					st := adv.Step(view)
+					for _, v := range st.Wake {
+						view.awake[v] = true
+					}
+					// Mutate a random batch of outputs, only on awake nodes
+					// (sleeping nodes have no output to change).
+					for i := 0; i < n/6; i++ {
+						v := outStream.Intn(n)
+						if view.awake[v] {
+							out[v] = pcase.vals[outStream.Intn(len(pcase.vals))]
+						}
+					}
+					repInc := inc.Observe(st.G, st.Wake, out)
+					repOrc := orc.Observe(st.G.Clone(), st.Wake, out)
+					if !reflect.DeepEqual(repInc, repOrc) {
+						t.Fatalf("round %d: reports diverge\nincremental %+v\noracle      %+v",
+							r, repInc, repOrc)
+					}
+					view.prev = st.G
+				}
+				ri, ii, pi, ci2, bi := inc.Totals()
+				ro, io, po, co, bo := orc.Totals()
+				if ri != ro || ii != io || pi != po || ci2 != co || bi != bo {
+					t.Fatalf("totals diverge: incremental (%d %d %d %d %d) oracle (%d %d %d %d %d)",
+						ri, ii, pi, ci2, bi, ro, io, po, co, bo)
+				}
+			})
+		}
 	}
 }
 

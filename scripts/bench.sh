@@ -8,6 +8,10 @@
 #   BENCH='E06|E08' scripts/bench.sh # filter benches by regex
 #   LABEL=-pre scripts/bench.sh      # suffix the output file name
 #   BENCHTIME=3x scripts/bench.sh    # more iterations per bench
+#
+# The full suite includes BenchmarkTDynamicChecker (incremental vs oracle
+# verification at N=4096), so the perf trajectory tracks checker cost;
+# BENCH_<date>-verify.json holds its dedicated baseline.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
