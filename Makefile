@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt fmt-check vet check
+.PHONY: all build test race bench fmt fmt-check vet docscheck check
 
 all: check
 
@@ -31,4 +31,8 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-check: build fmt-check vet test
+# Docs gate: package comments everywhere, markdown links resolve.
+docscheck:
+	$(GO) run ./scripts/docscheck
+
+check: build fmt-check vet docscheck test

@@ -50,7 +50,10 @@ type (
 	Engine = engine.Engine
 	// EngineConfig parameterizes a simulation.
 	EngineConfig = engine.Config
-	// RoundInfo is the observer view of a completed round.
+	// RoundInfo is the observer view of a completed round. Its Outputs
+	// and Changed slices are pooled (copy to retain); Changed is the
+	// engine's round-delta feed, consumed by
+	// TDynamicChecker.ObserveChanged.
 	RoundInfo = engine.RoundInfo
 	// Algorithm creates per-node processes for the engine.
 	Algorithm = engine.Algorithm
@@ -222,7 +225,12 @@ func UniformRandomSchedule(n, maxRound int, seed uint64) []int {
 	return adversary.UniformRandomSchedule(n, maxRound, seed)
 }
 
-// NewTDynamicChecker verifies T-dynamic solutions round by round.
+// NewTDynamicChecker verifies T-dynamic solutions round by round. Inside
+// an engine OnRound observer, feed it with ObserveChanged(info.Graph,
+// info.Wake, info.Outputs, info.Changed): the checker then maintains
+// violation state purely from the window edge deltas and the engine's
+// changed-node feed, with no per-round O(n) output scan (Observe remains
+// as the self-diffing fallback for outputs produced outside the engine).
 func NewTDynamicChecker(p Problem, t, n int) *TDynamicChecker {
 	return verify.NewTDynamic(p, t, n)
 }

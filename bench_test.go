@@ -1,9 +1,9 @@
 package dynlocal
 
 // The bench harness regenerates every experiment of the evaluation
-// (E1–E15, see DESIGN.md §3 for the mapping to the paper's claims) under
-// testing.B, and adds the ablation benches for the design choices the
-// paper singles out: the incremental sliding-window maintenance, the
+// (E01–E15, see ARCHITECTURE.md for the mapping to the paper's claims)
+// under testing.B, and adds the ablation benches for the design choices
+// the paper singles out: the incremental sliding-window maintenance, the
 // desire-level floor of footnote 11, SMis's self-healing un-decide rule
 // and the serial-vs-sharded engine phases.
 //
@@ -11,6 +11,7 @@ package dynlocal
 // `go test -bench` output doubles as a compact evaluation summary.
 
 import (
+	"fmt"
 	"testing"
 
 	"dynlocal/internal/adversary"
@@ -215,7 +216,7 @@ func BenchmarkE15EngineScaling(b *testing.B) {
 
 // BenchmarkAblationWindowIncremental measures the incremental sliding
 // window against recomputing IntersectAll/UnionAll from the raw history
-// each round (design decision 4 in DESIGN.md).
+// each round (see ARCHITECTURE.md, "Sliding windows").
 func BenchmarkAblationWindowIncremental(b *testing.B) {
 	const n = 2048
 	const T = 12
@@ -377,6 +378,45 @@ func BenchmarkEngineWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkWorkerScaling is the worker-scaling matrix (recorded as
+// BENCH_<date>-scaling.json via `BENCH=BenchmarkWorkerScaling
+// LABEL=-scaling scripts/bench.sh`): Workers ∈ {1, 2, 4, 8} crossed with
+// three workloads — uniform (static G(n,p)), star-skew (a star unioned
+// with a sparse G(n,p): the degree skew that edge-balanced sharding
+// exists for) and churn — at N=8192 running the combined MIS algorithm
+// in steady state. On small CI boxes the higher worker counts just
+// measure oversubscription; the matrix is meant for occasional manual
+// runs on real multi-core hardware (see docs/benchmarking.md).
+func BenchmarkWorkerScaling(b *testing.B) {
+	const n = 8192
+	workloads := []struct {
+		name string
+		mk   func() adversary.Adversary
+	}{
+		{"uniform", func() adversary.Adversary {
+			return adversary.Static{G: GNP(n, 8.0/float64(n), 5)}
+		}},
+		{"star-skew", func() adversary.Adversary {
+			return adversary.Static{G: graph.Union(graph.Star(n), GNP(n, 4.0/float64(n), 5))}
+		}},
+		{"churn", func() adversary.Adversary {
+			return NewChurn(GNP(n, 8.0/float64(n), 5), 32, 32, 6)
+		}},
+	}
+	for _, wl := range workloads {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", wl.name, workers), func(b *testing.B) {
+				e := NewEngine(EngineConfig{N: n, Seed: 7, Workers: workers}, wl.mk(), NewMIS(n))
+				e.Run(16) // reach steady state
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.Step()
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkCombinedMISRound measures the steady-state cost of one full
 // combined-algorithm round (T1-1 live instances) per node.
 func BenchmarkCombinedMISRound(b *testing.B) {
@@ -393,10 +433,14 @@ func BenchmarkCombinedMISRound(b *testing.B) {
 }
 
 // BenchmarkTDynamicChecker measures the verification overhead per round at
-// N=4096 under steady churn, for the incremental delta-driven checker
-// against the materializing oracle (per-round G^∩T/G^∪T CSR rebuild +
-// full CheckFull rescans). The allocs/op gap between the two sub-benches
-// is the headline number of the incremental verification pipeline.
+// N=4096 under steady churn, in three modes: the self-diffing incremental
+// checker (O(n) output scan per round), the changed-feed checker driven by
+// a precomputed round-delta list as the engine supplies via
+// RoundInfo.Changed (no scan), and the materializing oracle (per-round
+// G^∩T/G^∪T CSR rebuild + full CheckFull rescans). incremental-vs-oracle
+// is the headline of the PR 2 incremental pipeline; changed-feed-vs-
+// incremental isolates the remaining O(n) scan the round-delta plane
+// removed.
 func BenchmarkTDynamicChecker(b *testing.B) {
 	const n = 4096
 	const T = 16
@@ -469,24 +513,76 @@ func BenchmarkTDynamicChecker(b *testing.B) {
 	for i := cycle - 2; i >= 1; i-- {
 		order = append(order, i)
 	}
+	// changedInto[k] is the output diff over the transition into position
+	// k of the ping-pong order (from position (k-1+L)%L) — what the
+	// engine's RoundInfo.Changed feed would carry. The first observation
+	// of a run diffs against the all-⊥ initial state instead.
+	diffOuts := func(a, b []problems.Value) []graph.NodeID {
+		var d []graph.NodeID
+		for i := range b {
+			if a[i] != b[i] {
+				d = append(d, graph.NodeID(i))
+			}
+		}
+		return d
+	}
+	changedInto := make([][]graph.NodeID, len(order))
+	for k := range order {
+		prev := order[(k-1+len(order))%len(order)]
+		changedInto[k] = diffOuts(outs[prev], outs[order[k]])
+	}
+	firstChanged := diffOuts(make([]problems.Value, n), outs[0])
 	wake := AllNodes(n)
 	for _, mode := range []struct {
-		name string
-		mk   func() *verify.TDynamic
+		name  string
+		mk    func() *verify.TDynamic
+		first func(chk *verify.TDynamic)
+		obs   func(chk *verify.TDynamic, k int)
 	}{
-		{"incremental", func() *verify.TDynamic { return verify.NewTDynamic(problems.Coloring(), T, n) }},
-		{"oracle", func() *verify.TDynamic { return verify.NewTDynamicOracle(problems.Coloring(), T, n) }},
+		{
+			// Self-diffing path: the checker finds the output changes with
+			// its own O(n) scan.
+			name: "incremental",
+			mk:   func() *verify.TDynamic { return verify.NewTDynamic(problems.Coloring(), T, n) },
+			first: func(chk *verify.TDynamic) {
+				chk.Observe(graphs[0], wake, outs[0])
+			},
+			obs: func(chk *verify.TDynamic, k int) {
+				chk.Observe(graphs[order[k]], nil, outs[order[k]])
+			},
+		},
+		{
+			// Round-delta plane: the caller supplies the changed-node list
+			// (as the engine does via RoundInfo.Changed) — no scan at all.
+			name: "changed-feed",
+			mk:   func() *verify.TDynamic { return verify.NewTDynamic(problems.Coloring(), T, n) },
+			first: func(chk *verify.TDynamic) {
+				chk.ObserveChanged(graphs[0], wake, outs[0], firstChanged)
+			},
+			obs: func(chk *verify.TDynamic, k int) {
+				chk.ObserveChanged(graphs[order[k]], nil, outs[order[k]], changedInto[k])
+			},
+		},
+		{
+			name: "oracle",
+			mk:   func() *verify.TDynamic { return verify.NewTDynamicOracle(problems.Coloring(), T, n) },
+			first: func(chk *verify.TDynamic) {
+				chk.Observe(graphs[0], wake, outs[0])
+			},
+			obs: func(chk *verify.TDynamic, k int) {
+				chk.Observe(graphs[order[k]], nil, outs[order[k]])
+			},
+		},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			chk := mode.mk()
-			chk.Observe(graphs[0], wake, outs[0])
-			for i := 1; i < len(order); i++ { // fill the window before timing
-				chk.Observe(graphs[order[i]], nil, outs[order[i]])
+			mode.first(chk)
+			for k := 1; k < len(order); k++ { // fill the window before timing
+				mode.obs(chk, k)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				j := order[i%len(order)]
-				chk.Observe(graphs[j], nil, outs[j])
+				mode.obs(chk, i%len(order))
 			}
 		})
 	}

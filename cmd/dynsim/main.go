@@ -131,7 +131,7 @@ func run(args []string, out io.Writer) (invalidRounds int, strict bool, err erro
 
 	table := stats.NewTable("round", "outputs", "core", "invalid?", "packViol", "coverViol", "msgs")
 	eng.OnRound(func(info *dynlocal.RoundInfo) {
-		rep := check.Observe(info.Graph, info.Wake, info.Outputs)
+		rep := check.ObserveChanged(info.Graph, info.Wake, info.Outputs, info.Changed)
 		if !rep.Valid() {
 			invalidRounds++
 		}

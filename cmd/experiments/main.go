@@ -1,7 +1,8 @@
 // Command experiments regenerates the full evaluation of the reproduction:
-// one table per experiment E1–E15 (see DESIGN.md for the index mapping
-// each experiment to the paper claim it reproduces). Every number is
-// deterministic for a fixed -seed.
+// one table per experiment E01–E15 (see the internal/experiments package
+// doc and ARCHITECTURE.md for the mapping from each experiment to the
+// paper claim it reproduces). Every number is deterministic for a fixed
+// -seed.
 //
 // Usage:
 //

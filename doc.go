@@ -45,7 +45,7 @@
 //	eng := dynlocal.NewEngine(dynlocal.EngineConfig{N: n, Seed: 42}, adv, algo)
 //	check := dynlocal.NewTDynamicChecker(dynlocal.MISProblem(), algo.T1, n)
 //	eng.OnRound(func(info *dynlocal.RoundInfo) {
-//		rep := check.Observe(info.Graph, info.Wake, info.Outputs)
+//		rep := check.ObserveChanged(info.Graph, info.Wake, info.Outputs, info.Changed)
 //		if !rep.Valid() {
 //			log.Fatalf("round %d: guarantee violated", info.Round)
 //		}
@@ -54,6 +54,8 @@
 //
 // See the examples directory for runnable scenarios (frequency
 // assignment under mobility, cluster-head election under churn,
-// asynchronous wake-up) and EXPERIMENTS.md for the reproduction of every
-// quantitative claim in the paper.
+// asynchronous wake-up), the Example functions run by go test, and the
+// internal/experiments package for the reproduction of every
+// quantitative claim in the paper (rendered by cmd/experiments).
+// ARCHITECTURE.md maps the code to the paper.
 package dynlocal

@@ -39,7 +39,7 @@ func main() {
 
 	invalid := 0
 	eng.OnRound(func(info *dynlocal.RoundInfo) {
-		rep := check.Observe(info.Graph, info.Wake, info.Outputs)
+		rep := check.ObserveChanged(info.Graph, info.Wake, info.Outputs, info.Changed)
 		if !rep.Valid() {
 			invalid++
 		}

@@ -10,6 +10,23 @@
 // r−1 when determining graph G_r"). The adaptive-offline adversary of the
 // remark after Lemma 5.2 is realized by LubyStaller, which is additionally
 // given the PRF seed and therefore knows every future random bit.
+//
+// Invariants all adversaries maintain:
+//
+//   - Determinism: graph sequences are functions of (parameters, seed)
+//     only. Randomized adversaries draw from prf streams over sorted
+//     edge-key slices — never from Go map iteration order — so a (kind,
+//     seed) pair names one reproducible execution.
+//   - Model validity: returned graphs live on the engine's fixed n-node
+//     universe and edges only touch awake nodes (the engine asserts
+//     this); wake-ups are monotone, V_{r-1} ⊆ V_r.
+//   - Graphs are built once per round as immutable graph.Graph values
+//     (internal/graph) and may be retained by observers; adversaries
+//     never mutate a graph they have handed out.
+//
+// Downstream, the per-round graphs feed the engine's two communication
+// phases (internal/engine) and the sliding windows G^∩T/G^∪T that define
+// the feasibility guarantees (internal/dyngraph, internal/verify).
 package adversary
 
 import (

@@ -18,11 +18,17 @@
 // framing of Censor-Hillel et al., "Fast Deterministic Algorithms for
 // Highly-Dynamic Networks").
 //
-// Delta slices are internal buffers reused on the next Observe: observers
-// may iterate them during the round but must copy anything they retain.
-// The equivalence of both the materialized graphs and the emitted deltas
-// with the direct Definition 2.1 computation is property-tested against
-// graph.IntersectAll/UnionAll.
+// Delta slices are sorted (ascending edge keys / node ids) and are
+// internal buffers reused on the next Observe: observers may iterate
+// them during the round but must copy anything they retain — the same
+// pooling contract the engine uses for RoundInfo (internal/engine).
+// Windows observe the same per-round graphs the engine plays, so a
+// checker can drive one window alongside the engine and pair these edge
+// deltas with the engine's changed-output feed; internal/verify does
+// exactly that, pushing both into the violation trackers of
+// internal/problems. The equivalence of both the materialized graphs and
+// the emitted deltas with the direct Definition 2.1 computation is
+// property-tested against graph.IntersectAll/UnionAll.
 package dyngraph
 
 import (

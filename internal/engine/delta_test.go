@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"dynlocal/internal/adversary"
+	"dynlocal/internal/graph"
+	"dynlocal/internal/problems"
+)
+
+// The round-delta plane contract (RoundInfo.Changed): after every Step,
+// Changed lists exactly the nodes whose output differs from the previous
+// round's snapshot, in ascending order without duplicates, for every
+// worker count. These tests pin it against a brute-force diff of copied
+// snapshots across the serial and sharded paths, under full wake-up,
+// staggered wake-up and churn.
+
+func bruteDiff(prev, cur []problems.Value) []graph.NodeID {
+	var d []graph.NodeID
+	for v := range cur {
+		if cur[v] != prev[v] {
+			d = append(d, graph.NodeID(v))
+		}
+	}
+	return d
+}
+
+func TestChangedFeedMatchesBruteDiff(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		workers int
+	}{
+		{"serial-small", serialThreshold / 4, 1},
+		{"sharded-blocked-small", serialThreshold / 4, 4}, // n below threshold: serial path
+		{"serial-large", serialThreshold * 2, 1},
+		{"sharded-large", serialThreshold * 2, 4},
+	}
+	for _, tc := range cases {
+		mkAdvs := map[string]func() adversary.Adversary{
+			"churn": churnAdv(tc.n),
+			"staggered-churn": func() adversary.Adversary {
+				return &adversary.Wakeup{
+					Inner:    churnAdv(tc.n)(),
+					Schedule: adversary.StaggeredSchedule(tc.n, tc.n/8+1),
+				}
+			},
+		}
+		for name, mk := range mkAdvs {
+			t.Run(fmt.Sprintf("%s/%s", tc.name, name), func(t *testing.T) {
+				e := New(Config{N: tc.n, Seed: 42, Workers: tc.workers}, mk(), degreeAlgo{})
+				prev := make([]problems.Value, tc.n)
+				e.OnRound(func(info *RoundInfo) {
+					want := bruteDiff(prev, info.Outputs)
+					if len(want) != len(info.Changed) {
+						t.Fatalf("round %d: %d changed nodes, want %d",
+							info.Round, len(info.Changed), len(want))
+					}
+					for i := range want {
+						if info.Changed[i] != want[i] {
+							t.Fatalf("round %d: Changed[%d] = %d, want %d",
+								info.Round, i, info.Changed[i], want[i])
+						}
+					}
+					for i := 1; i < len(info.Changed); i++ {
+						if info.Changed[i] <= info.Changed[i-1] {
+							t.Fatalf("round %d: Changed not strictly ascending: %v",
+								info.Round, info.Changed)
+						}
+					}
+					copy(prev, info.Outputs)
+				})
+				e.Run(16)
+			})
+		}
+	}
+}
+
+// TestChangedFeedFirstRoundDiffsAgainstBot pins the round-1 baseline: a
+// node whose first output is ⊥ is not reported as changed, one with a
+// non-⊥ first output is.
+func TestChangedFeedFirstRoundDiffsAgainstBot(t *testing.T) {
+	const n = 6
+	// degreeAlgo outputs deg+1 != Bot for every awake node: all awake
+	// nodes change in round 1.
+	e := New(Config{N: n, Seed: 1}, adversary.Static{G: graph.Cycle(n)}, degreeAlgo{})
+	info := e.Step()
+	if len(info.Changed) != n {
+		t.Fatalf("round 1 changed = %v, want all %d nodes", info.Changed, n)
+	}
+	// A second identical round changes nothing.
+	info = e.Step()
+	if len(info.Changed) != 0 {
+		t.Fatalf("static round 2 changed = %v, want none", info.Changed)
+	}
+}

@@ -22,6 +22,7 @@ import (
 // bits (outputs copied — the engine pools snapshot buffers).
 type roundTrace struct {
 	outputs  [][]problems.Value
+	changed  [][]graph.NodeID
 	messages []int
 	bits     []int64
 }
@@ -31,6 +32,7 @@ func collectTrace(n, workers, rounds int, mkAdv func() adversary.Adversary, algo
 	var tr roundTrace
 	e.OnRound(func(info *RoundInfo) {
 		tr.outputs = append(tr.outputs, append([]problems.Value(nil), info.Outputs...))
+		tr.changed = append(tr.changed, append([]graph.NodeID(nil), info.Changed...))
 		tr.messages = append(tr.messages, info.Messages)
 		tr.bits = append(tr.bits, info.Bits)
 	})
@@ -51,6 +53,14 @@ func diffTraces(t *testing.T, label string, a, b roundTrace) {
 			if a.outputs[r][v] != b.outputs[r][v] {
 				t.Fatalf("%s: round %d node %d output %d vs %d",
 					label, r+1, v, a.outputs[r][v], b.outputs[r][v])
+			}
+		}
+		if len(a.changed[r]) != len(b.changed[r]) {
+			t.Fatalf("%s: round %d changed %v vs %v", label, r+1, a.changed[r], b.changed[r])
+		}
+		for i := range a.changed[r] {
+			if a.changed[r][i] != b.changed[r][i] {
+				t.Fatalf("%s: round %d changed %v vs %v", label, r+1, a.changed[r], b.changed[r])
 			}
 		}
 	}

@@ -14,8 +14,10 @@ const serialThreshold = 512
 // phaseFunc processes one node and returns its delivered message count and
 // declared bits (both zero for phases without accounting). ctx is a
 // per-worker scratch the callback must fully overwrite before use: a
-// per-node stack Ctx would escape to the heap at every interface call.
-type phaseFunc func(ctx *Ctx, v graph.NodeID) (msgs int, bits int64)
+// per-node stack Ctx would escape to the heap at every interface call. w is
+// the worker index (0 on the serial path), letting callbacks append to
+// per-worker buffers — e.g. the changed-output shards — without contention.
+type phaseFunc func(ctx *Ctx, w int, v graph.NodeID) (msgs int, bits int64)
 
 // workerAcc is a per-worker accounting cell, padded out to a cache line so
 // concurrent workers do not false-share.
@@ -43,7 +45,7 @@ func (e *Engine) parallelNodes(g *graph.Graph, fn phaseFunc) (int, int64) {
 		var bits int64
 		for v := 0; v < n; v++ {
 			if e.awake[v] {
-				m, b := fn(&ctx, graph.NodeID(v))
+				m, b := fn(&ctx, 0, graph.NodeID(v))
 				msgs += m
 				bits += b
 			}
@@ -66,7 +68,7 @@ func (e *Engine) parallelNodes(g *graph.Graph, fn phaseFunc) (int, int64) {
 			var bits int64
 			for v := lo; v < hi; v++ {
 				if e.awake[v] {
-					m, b := fn(&ctx, graph.NodeID(v))
+					m, b := fn(&ctx, w, graph.NodeID(v))
 					msgs += m
 					bits += b
 				}

@@ -1,9 +1,21 @@
 // Package experiments implements the reproduction of every quantitative
-// claim in the paper (see DESIGN.md, Section 3 for the index E1–E15).
-// Each experiment is a pure function from parameters to a structured
-// result; cmd/experiments renders them as tables and the root bench
-// harness re-runs them under testing.B. All randomness is seeded, so
-// every number in EXPERIMENTS.md is reproducible.
+// claim in the paper as the experiment battery E01–E15:
+//
+//	E01 DColor convergence (O(log n) shape)     E09 baselines vs churn sweep
+//	E02 conflict-edge resolution time           E10 window-size sweep
+//	E03 locally-static stability (Thm 1.1(2))   E11 window edge counts
+//	E04 coloring progress probability           E12 message bits (poly log n remark)
+//	E05 MIS edge decay (Lemma 5.2)              E13 clairvoyant adversary
+//	E06 DMis convergence                        E14 async wake-up schedules
+//	E07 SMis static-ball decision (Lemma 5.6)   E15 engine scaling
+//
+// Each experiment is a pure function from Params to a structured result;
+// cmd/experiments renders them as tables and the root bench harness
+// re-runs them under testing.B (see ARCHITECTURE.md for the claim↔code
+// map). All randomness is seeded, so every reported number is
+// reproducible; every guarantee-shaped cell is routed through the
+// checkers of internal/verify, so the tables are machine-checked, not
+// just measured.
 package experiments
 
 import (

@@ -183,7 +183,7 @@ func E08ConcatEndToEnd(p Params) []EndToEndResult {
 			chk := verify.NewTDynamic(pc, combined.T1, n)
 			res := EndToEndResult{Problem: prob, Adversary: kind, N: n, Window: combined.T1}
 			e.OnRound(func(info *engine.RoundInfo) {
-				rep := chk.Observe(info.Graph, info.Wake, info.Outputs)
+				rep := chk.ObserveChanged(info.Graph, info.Wake, info.Outputs, info.Changed)
 				if !rep.Valid() {
 					res.InvalidRounds++
 					res.Violations += len(rep.PackingViolations) + len(rep.CoverViolations) + rep.BotCore
@@ -245,21 +245,17 @@ func E09Baselines(p Params) []BaselineResult {
 			warmup := 2 * window
 			invalid, counted := 0, 0
 			changes := 0
-			prev := make([]problems.Value, n)
 			e.OnRound(func(info *engine.RoundInfo) {
-				rep := chk.Observe(info.Graph, info.Wake, info.Outputs)
+				rep := chk.ObserveChanged(info.Graph, info.Wake, info.Outputs, info.Changed)
 				if info.Round > warmup {
 					counted++
 					if !rep.Valid() {
 						invalid++
 					}
-					for v := range prev {
-						if info.Outputs[v] != prev[v] {
-							changes++
-						}
-					}
+					// The engine's round-delta feed is exactly the
+					// round-over-round output diff.
+					changes += len(info.Changed)
 				}
-				copy(prev, info.Outputs)
 			})
 			e.Run(rounds)
 			res := BaselineResult{Algorithm: ac.name, ChurnPerRound: c}
@@ -335,7 +331,7 @@ func E10WindowSweep(p Params) []WindowSweepResult {
 		invalid, counted, botRounds := 0, 0, 0
 		warmup := 2 * def
 		e.OnRound(func(info *engine.RoundInfo) {
-			rep := chk.Observe(info.Graph, info.Wake, info.Outputs)
+			rep := chk.ObserveChanged(info.Graph, info.Wake, info.Outputs, info.Changed)
 			if info.Round > warmup {
 				counted++
 				if !rep.Valid() {
@@ -571,7 +567,7 @@ func E14AsyncWakeup(p Params) []AsyncWakeupResult {
 			res := AsyncWakeupResult{Schedule: sc.name + "/" + prob, N: n}
 			var lastCore int
 			e.OnRound(func(info *engine.RoundInfo) {
-				rep := chk.Observe(info.Graph, info.Wake, info.Outputs)
+				rep := chk.ObserveChanged(info.Graph, info.Wake, info.Outputs, info.Changed)
 				if !rep.Valid() {
 					res.InvalidRounds++
 				}

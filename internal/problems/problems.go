@@ -10,7 +10,13 @@
 // materialized graph, and an incremental Tracker that maintains the same
 // violation set under edge and output deltas in O(changes·Δ) per round —
 // the verification hot path of the T-dynamic checker. CheckFull remains
-// the oracle the trackers are property-tested against.
+// the oracle the trackers are property-tested against. The deltas arrive
+// from upstream producers that are themselves incremental: edge events
+// from the sliding windows of internal/dyngraph, output events from the
+// engine's per-round changed-node feed (engine.RoundInfo.Changed), both
+// routed through internal/verify. Trackers never read a graph or output
+// vector wholesale; their state is exactly the event history, which is
+// what makes the checkers O(changes) rather than O(n+m) per round.
 //
 // The two instantiations from the paper are provided:
 //

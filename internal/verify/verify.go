@@ -10,19 +10,28 @@
 //     Theorem 1.1(2)): whenever the α-ball of a node has been static for
 //     `Wait` rounds, its output must not change.
 //
-// TDynamic is incremental: it consumes the edge/core deltas emitted by
-// dyngraph.Window.ObserveDelta and the round-over-round output diffs, and
-// feeds them to the problems.Tracker violation maintainers. A round's cost
-// is one O(|E_r|) window update plus an O(n) output-diff scan plus
-// O(changes·Δ) tracker work — no per-round CSR graph materialization and
-// no full packing/covering rescans, which removes the former top
-// allocation hot path of the experiment suite (E08). NewTDynamicOracle
-// retains the materializing CheckFull path; the two are property-tested
-// to produce bit-identical TDynamicReports and the oracle doubles as the
-// benchmark baseline.
+// TDynamic is incremental end to end: it consumes the edge/core deltas
+// emitted by dyngraph.Window.ObserveDelta for the topology side and the
+// engine's changed-node feed (engine.RoundInfo.Changed, via
+// ObserveChanged) for the output side, and feeds both to the
+// problems.Tracker violation maintainers. A round's cost is one O(|E_r|)
+// window update plus O((deltas+changes)·Δ) tracker work — no per-round
+// CSR graph materialization, no full packing/covering rescans, and no
+// O(n) output-diff scan (Observe retains a self-diffing scan as the
+// fallback for callers without a delta feed). NewTDynamicOracle retains
+// the materializing CheckFull path; incremental, changed-feed and oracle
+// checkers are property-tested — including against a real engine run —
+// to produce bit-identical TDynamicReports, and the oracle doubles as
+// the benchmark baseline.
+//
+// Input-buffer rules follow the producers' pooling contracts: the graph
+// handed to Observe may be retained (graphs are immutable), but the
+// output snapshot and changed list are only read during the call, so the
+// engine's pooled RoundInfo buffers can be passed straight through.
 //
 // The checkers are part of the library (not the tests) so that every data
-// point produced by the experiment harness is a verified guarantee.
+// point produced by the experiment harness (internal/experiments) is a
+// verified guarantee.
 package verify
 
 import (
@@ -60,6 +69,7 @@ type TDynamic struct {
 	pt        problems.Tracker
 	ct        problems.Tracker
 	prevOut   []problems.Value
+	diff      []graph.NodeID // scratch for Observe's self-computed diff
 	coreCount int
 	botCore   int
 
@@ -96,7 +106,33 @@ func (c *TDynamic) Window() *dyngraph.Window { return c.window }
 
 // Observe ingests round r's graph, wake set and output snapshot and
 // checks the T-dynamic condition. out must cover the full node universe.
+//
+// Observe computes the round-over-round output diff itself with an O(n)
+// scan; callers driven by the engine should pass RoundInfo.Changed to
+// ObserveChanged instead, which needs no scan.
 func (c *TDynamic) Observe(g *graph.Graph, wake []graph.NodeID, out []problems.Value) TDynamicReport {
+	if c.oracle {
+		return c.observeOracle(g, wake, out)
+	}
+	diff := c.diff[:0]
+	for i := range c.prevOut {
+		if out[i] != c.prevOut[i] {
+			diff = append(diff, graph.NodeID(i))
+		}
+	}
+	c.diff = diff
+	return c.ObserveChanged(g, wake, out, diff)
+}
+
+// ObserveChanged is Observe with the output diff supplied by the caller:
+// changed must cover every node whose entry in out differs from the out of
+// the previous Observe/ObserveChanged call (all non-⊥ nodes on the first
+// call) — exactly the contract of the engine's RoundInfo.Changed feed when
+// the checker observes every round from round 1. Entries whose output is
+// in fact unchanged, and duplicates, are tolerated and skipped. The round
+// then costs one O(|E_r|) window update plus O((deltas+|changed|)·Δ)
+// tracker work — no O(n) output scan.
+func (c *TDynamic) ObserveChanged(g *graph.Graph, wake []graph.NodeID, out []problems.Value, changed []graph.NodeID) TDynamicReport {
 	if c.oracle {
 		return c.observeOracle(g, wake, out)
 	}
@@ -128,22 +164,21 @@ func (c *TDynamic) Observe(g *graph.Graph, wake []graph.NodeID, out []problems.V
 		c.pt.Activate(v)
 		c.ct.Activate(v)
 	}
-	for i := range c.prevOut {
-		val := out[i]
-		if val == c.prevOut[i] {
+	for _, v := range changed {
+		val := out[v]
+		if val == c.prevOut[v] {
 			continue
 		}
-		v := graph.NodeID(i)
 		c.pt.OutputChanged(v, val)
 		c.ct.OutputChanged(v, val)
 		if c.window.InCore(v) {
-			if c.prevOut[i] == problems.Bot {
+			if c.prevOut[v] == problems.Bot {
 				c.botCore--
 			} else if val == problems.Bot {
 				c.botCore++
 			}
 		}
-		c.prevOut[i] = val
+		c.prevOut[v] = val
 	}
 	rep := TDynamicReport{Round: d.Round, CoreNodes: c.coreCount, BotCore: c.botCore}
 	if c.coreCount > 0 {

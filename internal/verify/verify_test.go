@@ -152,11 +152,15 @@ func (v *advView) PrevGraph() *graph.Graph          { return v.prev }
 func (v *advView) Awake(id graph.NodeID) bool       { return v.awake[id] }
 func (v *advView) DelayedOutputs() []problems.Value { return nil }
 
-// TestTDynamicIncrementalMatchesOracle drives the incremental checker and
-// the materializing oracle through identical adversarial schedules with
-// violation-heavy random outputs (⊥ flips, invalid values, conflicts) and
-// asserts the per-round TDynamicReports are bit-identical, including
-// violation order and reason strings.
+// TestTDynamicIncrementalMatchesOracle drives the incremental checker
+// (both the self-diffing Observe path and the caller-supplied-diff
+// ObserveChanged path) and the materializing oracle through identical
+// adversarial schedules with violation-heavy random outputs (⊥ flips,
+// invalid values, conflicts) and asserts the per-round TDynamicReports
+// are bit-identical, including violation order and reason strings. The
+// changed list handed to ObserveChanged is the raw mutation log —
+// duplicates and no-op rewrites included — pinning the documented
+// tolerance for over-approximate feeds.
 func TestTDynamicIncrementalMatchesOracle(t *testing.T) {
 	const n = 64
 	const T = 5
@@ -204,6 +208,7 @@ func TestTDynamicIncrementalMatchesOracle(t *testing.T) {
 				seed := uint64(17 + ci)
 				adv := sc.mk(seed)
 				inc := NewTDynamic(pcase.pc, T, n)
+				fed := NewTDynamic(pcase.pc, T, n)
 				orc := NewTDynamicOracle(pcase.pc, T, n)
 				view := &advView{n: n, prev: graph.Empty(n), awake: make([]bool, n)}
 				out := make([]problems.Value, n)
@@ -215,26 +220,39 @@ func TestTDynamicIncrementalMatchesOracle(t *testing.T) {
 						view.awake[v] = true
 					}
 					// Mutate a random batch of outputs, only on awake nodes
-					// (sleeping nodes have no output to change).
+					// (sleeping nodes have no output to change). The mutation
+					// log is the changed feed — over-approximate on purpose.
+					var changed []graph.NodeID
 					for i := 0; i < n/6; i++ {
 						v := outStream.Intn(n)
 						if view.awake[v] {
 							out[v] = pcase.vals[outStream.Intn(len(pcase.vals))]
+							changed = append(changed, graph.NodeID(v))
 						}
 					}
 					repInc := inc.Observe(st.G, st.Wake, out)
+					repFed := fed.ObserveChanged(st.G, st.Wake, out, changed)
 					repOrc := orc.Observe(st.G.Clone(), st.Wake, out)
 					if !reflect.DeepEqual(repInc, repOrc) {
 						t.Fatalf("round %d: reports diverge\nincremental %+v\noracle      %+v",
 							r, repInc, repOrc)
 					}
+					if !reflect.DeepEqual(repFed, repOrc) {
+						t.Fatalf("round %d: reports diverge\nchanged-feed %+v\noracle       %+v",
+							r, repFed, repOrc)
+					}
 					view.prev = st.G
 				}
 				ri, ii, pi, ci2, bi := inc.Totals()
+				rf, ifd, pf, cf, bf := fed.Totals()
 				ro, io, po, co, bo := orc.Totals()
 				if ri != ro || ii != io || pi != po || ci2 != co || bi != bo {
 					t.Fatalf("totals diverge: incremental (%d %d %d %d %d) oracle (%d %d %d %d %d)",
 						ri, ii, pi, ci2, bi, ro, io, po, co, bo)
+				}
+				if rf != ro || ifd != io || pf != po || cf != co || bf != bo {
+					t.Fatalf("totals diverge: changed-feed (%d %d %d %d %d) oracle (%d %d %d %d %d)",
+						rf, ifd, pf, cf, bf, ro, io, po, co, bo)
 				}
 			})
 		}

@@ -1,0 +1,131 @@
+// Command docscheck is the CI docs gate. It fails (exit 1) when
+//
+//   - any package in the module — the root library, internal/...,
+//     cmd/... and examples/... — lacks a non-trivial package comment
+//     (at least minDocLen characters of doc text on the package clause
+//     of some file), or
+//   - a relative markdown link in README.md, ARCHITECTURE.md or
+//     docs/*.md points at a file that does not exist.
+//
+// Run it from the repo root: go run ./scripts/docscheck
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// minDocLen is the minimum rune count of a package comment before it
+// counts as documentation rather than a lint-silencer.
+const minDocLen = 60
+
+func main() {
+	var problems []string
+
+	pkgDirs := map[string]bool{}
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			pkgDirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck: walk:", err)
+		os.Exit(1)
+	}
+
+	for dir := range pkgDirs {
+		if msg := checkPackageDoc(dir); msg != "" {
+			problems = append(problems, msg)
+		}
+	}
+
+	mds := []string{"README.md", "ARCHITECTURE.md"}
+	globbed, _ := filepath.Glob("docs/*.md")
+	mds = append(mds, globbed...)
+	for _, md := range mds {
+		problems = append(problems, checkLinks(md)...)
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "docscheck:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d packages documented, links in %v resolve\n", len(pkgDirs), mds)
+}
+
+// checkPackageDoc reports a problem string if no non-test file in dir
+// carries a package comment of at least minDocLen runes.
+func checkPackageDoc(dir string) string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Sprintf("%s: %v", dir, err)
+	}
+	best := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return fmt.Sprintf("%s: %v", path, err)
+		}
+		if f.Doc != nil {
+			if n := len([]rune(strings.TrimSpace(f.Doc.Text()))); n > best {
+				best = n
+			}
+		}
+	}
+	switch {
+	case best == 0:
+		return fmt.Sprintf("package %s has no package comment", dir)
+	case best < minDocLen:
+		return fmt.Sprintf("package %s: package comment is trivial (%d chars < %d)", dir, best, minDocLen)
+	}
+	return ""
+}
+
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkLinks verifies that every relative markdown link target in md
+// exists on disk (anchors are stripped; absolute URLs are skipped).
+func checkLinks(md string) []string {
+	data, err := os.ReadFile(md)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", md, err)}
+	}
+	var problems []string
+	for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+			continue
+		}
+		if i := strings.IndexByte(target, '#'); i >= 0 {
+			target = target[:i]
+		}
+		resolved := filepath.Join(filepath.Dir(md), target)
+		if _, err := os.Stat(resolved); err != nil {
+			problems = append(problems, fmt.Sprintf("%s: broken link %q (%s does not exist)", md, m[1], resolved))
+		}
+	}
+	return problems
+}
