@@ -50,10 +50,10 @@ type (
 	Engine = engine.Engine
 	// EngineConfig parameterizes a simulation.
 	EngineConfig = engine.Config
-	// RoundInfo is the observer view of a completed round. Its Outputs
-	// and Changed slices are pooled (copy to retain); Changed is the
-	// engine's round-delta feed, consumed by
-	// TDynamicChecker.ObserveChanged.
+	// RoundInfo is the observer view of a completed round. Its Outputs,
+	// Changed, EdgeAdds and EdgeRemoves slices are pooled (copy to
+	// retain); Changed plus EdgeAdds/EdgeRemoves form the engine's
+	// round-delta plane, consumed whole by TDynamicChecker.ObserveDeltas.
 	RoundInfo = engine.RoundInfo
 	// Algorithm creates per-node processes for the engine.
 	Algorithm = engine.Algorithm
@@ -226,11 +226,14 @@ func UniformRandomSchedule(n, maxRound int, seed uint64) []int {
 }
 
 // NewTDynamicChecker verifies T-dynamic solutions round by round. Inside
-// an engine OnRound observer, feed it with ObserveChanged(info.Graph,
-// info.Wake, info.Outputs, info.Changed): the checker then maintains
-// violation state purely from the window edge deltas and the engine's
-// changed-node feed, with no per-round O(n) output scan (Observe remains
-// as the self-diffing fallback for outputs produced outside the engine).
+// an engine OnRound observer, feed it with ObserveDeltas(info.EdgeAdds,
+// info.EdgeRemoves, info.Wake, info.Outputs, info.Changed): the checker
+// then maintains violation state purely from the engine's round-delta
+// plane — no graph materialization, no O(|E_r|) edge scan and no O(n)
+// output scan, so a verified round costs O(changes). ObserveChanged
+// (graph-fed window) and Observe (additionally self-diffs the outputs)
+// remain as fallbacks for topologies or outputs produced outside the
+// engine.
 func NewTDynamicChecker(p Problem, t, n int) *TDynamicChecker {
 	return verify.NewTDynamic(p, t, n)
 }

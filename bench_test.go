@@ -12,6 +12,7 @@ package dynlocal
 
 import (
 	"fmt"
+	"slices"
 	"testing"
 
 	"dynlocal/internal/adversary"
@@ -433,14 +434,16 @@ func BenchmarkCombinedMISRound(b *testing.B) {
 }
 
 // BenchmarkTDynamicChecker measures the verification overhead per round at
-// N=4096 under steady churn, in three modes: the self-diffing incremental
+// N=4096 under steady churn, in four modes: the self-diffing incremental
 // checker (O(n) output scan per round), the changed-feed checker driven by
 // a precomputed round-delta list as the engine supplies via
-// RoundInfo.Changed (no scan), and the materializing oracle (per-round
-// G^∩T/G^∪T CSR rebuild + full CheckFull rescans). incremental-vs-oracle
-// is the headline of the PR 2 incremental pipeline; changed-feed-vs-
-// incremental isolates the remaining O(n) scan the round-delta plane
-// removed.
+// RoundInfo.Changed (graph-fed window, no output scan), the delta-feed
+// checker driven by the full round-delta plane — topology diff plus
+// changed list, no graph at all (ObserveDeltas, O(changes) per round) —
+// and the materializing oracle (per-round G^∩T/G^∪T CSR rebuild + full
+// CheckFull rescans). incremental-vs-oracle is the headline of the PR 2
+// incremental pipeline; delta-feed-vs-changed-feed isolates the O(|E_r|)
+// window merge the delta-native topology plane removed.
 func BenchmarkTDynamicChecker(b *testing.B) {
 	const n = 4096
 	const T = 16
@@ -532,6 +535,16 @@ func BenchmarkTDynamicChecker(b *testing.B) {
 		changedInto[k] = diffOuts(outs[prev], outs[order[k]])
 	}
 	firstChanged := diffOuts(make([]problems.Value, n), outs[0])
+	// addsInto/removesInto mirror changedInto on the topology side: the
+	// edge diff over the transition into each ping-pong position, i.e.
+	// what RoundInfo.EdgeAdds/EdgeRemoves would carry.
+	addsInto := make([][]graph.EdgeKey, len(order))
+	removesInto := make([][]graph.EdgeKey, len(order))
+	for k := range order {
+		prev := order[(k-1+len(order))%len(order)]
+		addsInto[k], removesInto[k] = graph.DiffSortedKeys(
+			graphs[prev].EdgeKeys(), graphs[order[k]].EdgeKeys(), nil, nil)
+	}
 	wake := AllNodes(n)
 	for _, mode := range []struct {
 		name  string
@@ -564,6 +577,19 @@ func BenchmarkTDynamicChecker(b *testing.B) {
 			},
 		},
 		{
+			// Full round-delta plane: topology and output diffs both
+			// caller-supplied (as the engine does via RoundInfo) — no
+			// graph, no edge merge, no output scan.
+			name: "delta-feed",
+			mk:   func() *verify.TDynamic { return verify.NewTDynamic(problems.Coloring(), T, n) },
+			first: func(chk *verify.TDynamic) {
+				chk.ObserveDeltas(graphs[0].EdgeKeys(), nil, wake, outs[0], firstChanged)
+			},
+			obs: func(chk *verify.TDynamic, k int) {
+				chk.ObserveDeltas(addsInto[k], removesInto[k], nil, outs[order[k]], changedInto[k])
+			},
+		},
+		{
 			name: "oracle",
 			mk:   func() *verify.TDynamic { return verify.NewTDynamicOracle(problems.Coloring(), T, n) },
 			first: func(chk *verify.TDynamic) {
@@ -585,6 +611,117 @@ func BenchmarkTDynamicChecker(b *testing.B) {
 				mode.obs(chk, i%len(order))
 			}
 		})
+	}
+}
+
+// BenchmarkTopologyDelta is the scan-vs-delta matrix of the topology
+// plane (recorded as BENCH_<date>-topo.json via `BENCH=BenchmarkTopologyDelta
+// LABEL=-topo scripts/bench.sh`): N ∈ {4096, 65536} × churn ∈ {low, high}
+// toggled edges per round, feeding the same schedule into a T-dynamic
+// sliding window two ways. "scan" is the pre-delta pipeline's per-round
+// topology cost — materialize the round's CSR graph from its edge list,
+// then let the window recover the diff by merging consecutive edge lists
+// (Window.Observe) — while "delta" hands the window the sorted diff
+// directly (Window.ObserveEdgeDelta), the feed the engine's
+// RoundInfo.EdgeAdds/EdgeRemoves supplies. The delta feed's cost scales
+// with churn volume only, so the gap widens with n at fixed churn: the
+// headline cell is N=65536/low, where per-round work drops from one
+// ~260k-edge build+merge to ~64 map updates.
+func BenchmarkTopologyDelta(b *testing.B) {
+	const T = 16
+	const cycle = 8
+	for _, n := range []int{4096, 65536} {
+		for _, churn := range []struct {
+			name string
+			rate int
+		}{
+			{"low", 32},
+			{"high", n / 16},
+		} {
+			// Pre-generate a ping-pong schedule of consistent rounds:
+			// edge-list snapshots for the scan feed, sorted diffs for the
+			// delta feed. The ping-pong makes every transition — including
+			// the wrap — exactly one churn-rate delta.
+			s := prf.NewStream(uint64(n+churn.rate), 0, 0, prf.PurposeWorkload)
+			present := make(map[graph.EdgeKey]bool)
+			base := GNP(n, 8.0/float64(n), uint64(n))
+			for _, k := range base.EdgeKeys() {
+				present[k] = true
+			}
+			snapshot := func() []graph.EdgeKey {
+				keys := make([]graph.EdgeKey, 0, len(present))
+				for k := range present {
+					keys = append(keys, k)
+				}
+				slices.Sort(keys)
+				return keys
+			}
+			type round struct {
+				keys          []graph.EdgeKey
+				adds, removes []graph.EdgeKey
+			}
+			// Forward transitions s0→s1→…→s_c, then the exact reverses
+			// back down to s0, so position i%len always continues from
+			// position (i-1)%len — including across the wrap.
+			startKeys := snapshot()
+			rounds := make([]round, 0, 2*cycle)
+			prevKeys := startKeys
+			for i := 0; i < cycle; i++ {
+				for j := 0; j < churn.rate; j++ {
+					u := graph.NodeID(s.Intn(n))
+					v := graph.NodeID(s.Intn(n))
+					if u == v {
+						continue
+					}
+					k := graph.MakeEdgeKey(u, v)
+					if present[k] {
+						delete(present, k)
+					} else {
+						present[k] = true
+					}
+				}
+				keys := snapshot()
+				adds, removes := graph.DiffSortedKeys(prevKeys, keys, nil, nil)
+				rounds = append(rounds, round{keys: keys, adds: adds, removes: removes})
+				prevKeys = keys
+			}
+			for i := cycle - 1; i >= 0; i-- {
+				keys := startKeys
+				if i > 0 {
+					keys = rounds[i-1].keys
+				}
+				rounds = append(rounds, round{
+					keys:    keys,
+					adds:    rounds[i].removes,
+					removes: rounds[i].adds,
+				})
+			}
+			all := adversary.AllNodes(n)
+			b.Run(fmt.Sprintf("N=%d/churn=%s/scan", n, churn.name), func(b *testing.B) {
+				w := dyngraph.NewWindow(T, n)
+				w.Observe(graph.FromSortedEdges(n, startKeys), all)
+				for k := 0; k < len(rounds); k++ { // fill the window before timing
+					w.Observe(graph.FromSortedEdges(n, rounds[k].keys), nil)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r := &rounds[i%len(rounds)]
+					w.Observe(graph.FromSortedEdges(n, r.keys), nil)
+				}
+			})
+			b.Run(fmt.Sprintf("N=%d/churn=%s/delta", n, churn.name), func(b *testing.B) {
+				w := dyngraph.NewWindow(T, n)
+				w.ObserveEdgeDelta(startKeys, nil, all)
+				for k := 0; k < len(rounds); k++ {
+					w.ObserveEdgeDelta(rounds[k].adds, rounds[k].removes, nil)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r := &rounds[i%len(rounds)]
+					w.ObserveEdgeDelta(r.adds, r.removes, nil)
+				}
+			})
+		}
 	}
 }
 

@@ -118,7 +118,7 @@ func main() {
 	invalid := 0
 	var maxSlot dynlocal.Value
 	eng.OnRound(func(info *dynlocal.RoundInfo) {
-		rep := check.ObserveChanged(info.Graph, info.Wake, info.Outputs, info.Changed)
+		rep := check.ObserveDeltas(info.EdgeAdds, info.EdgeRemoves, info.Wake, info.Outputs, info.Changed)
 		if !rep.Valid() {
 			invalid++
 		}

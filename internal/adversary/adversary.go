@@ -11,22 +11,43 @@
 // remark after Lemma 5.2 is realized by LubyStaller, which is additionally
 // given the PRF seed and therefore knows every future random bit.
 //
+// # Delta-native steps
+//
+// A highly dynamic network is naturally described by what changed, not by
+// a fresh graph: a Step may carry the round's topology as a sorted edge
+// diff (EdgeAdds/EdgeRemoves, with G == nil) instead of a materialized
+// graph. EdgeMarkov, Churn, LocalStatic and Scripted emit such delta
+// steps natively — their own state transitions are the diff — so a round
+// costs O(changes) end to end: the engine folds the diff into its pooled
+// CSR patcher (graph.Patcher) and the windows/checkers consume it
+// directly. Adversaries that materialize (Static, Alternator,
+// LubyStaller, the wrappers) keep returning full graphs; Resolver turns
+// either kind of step into a (graph, adds, removes) triple, synthesizing
+// the diff by a linear edge-key merge when only a graph was given.
+//
 // Invariants all adversaries maintain:
 //
 //   - Determinism: graph sequences are functions of (parameters, seed)
 //     only. Randomized adversaries draw from prf streams over sorted
 //     edge-key slices — never from Go map iteration order — so a (kind,
 //     seed) pair names one reproducible execution.
-//   - Model validity: returned graphs live on the engine's fixed n-node
-//     universe and edges only touch awake nodes (the engine asserts
-//     this); wake-ups are monotone, V_{r-1} ⊆ V_r.
-//   - Graphs are built once per round as immutable graph.Graph values
-//     (internal/graph) and may be retained by observers; adversaries
-//     never mutate a graph they have handed out.
+//   - Model validity: returned topologies live on the engine's fixed
+//     n-node universe and edges only touch awake nodes (the engine
+//     asserts this on every added edge); wake-ups are monotone,
+//     V_{r-1} ⊆ V_r.
+//   - Delta steps describe the diff against the adversary's previous
+//     round exactly (strictly ascending keys, adds absent before, removes
+//     present before); the engine's patcher panics on any divergence.
+//   - Materialized graphs are immutable graph.Graph values and may be
+//     retained by observers; adversaries never mutate a graph they have
+//     handed out. Delta steps may alias adversary-owned buffers that are
+//     reused on the next Step — consumers must finish with them within
+//     the round.
 //
-// Downstream, the per-round graphs feed the engine's two communication
-// phases (internal/engine) and the sliding windows G^∩T/G^∪T that define
-// the feasibility guarantees (internal/dyngraph, internal/verify).
+// Downstream, the per-round topologies feed the engine's two
+// communication phases (internal/engine) and the sliding windows
+// G^∩T/G^∪T that define the feasibility guarantees (internal/dyngraph,
+// internal/verify).
 package adversary
 
 import (
@@ -35,10 +56,20 @@ import (
 	"dynlocal/internal/problems"
 )
 
-// Step is the adversary's move for one round.
+// Step is the adversary's move for one round: either a materialized
+// communication graph G_r, or — when G is nil — a delta-native step whose
+// EdgeAdds/EdgeRemoves describe G_r as a sorted diff against the
+// adversary's previous round (round 1 diffs against the empty graph G_0).
 type Step struct {
-	G    *graph.Graph   // communication graph G_r
+	G    *graph.Graph   // communication graph G_r; nil for a delta step
 	Wake []graph.NodeID // nodes waking up at the start of round r
+	// EdgeAdds and EdgeRemoves are the sorted edge diff of a delta step:
+	// strictly ascending canonical keys, every added edge absent from and
+	// every removed edge present in the previous round's topology. Ignored
+	// when G is non-nil (the graph is authoritative; Resolver synthesizes
+	// the diff). The slices may alias adversary-owned buffers reused on
+	// the next Step.
+	EdgeAdds, EdgeRemoves []graph.EdgeKey
 }
 
 // View is the information the model grants the adversary when it
@@ -61,10 +92,58 @@ type View interface {
 
 // Adversary produces the graph sequence.
 type Adversary interface {
-	// Step returns round view.Round()'s graph and wake set. The returned
-	// graph must only contain edges between nodes awake after the wake
-	// set is applied.
+	// Step returns round view.Round()'s topology (materialized or as a
+	// delta, see Step) and wake set. The topology must only contain edges
+	// between nodes awake after the wake set is applied.
 	Step(view View) Step
+}
+
+// Resolver materializes the topology stream of a possibly delta-native
+// adversary and reports every round's sorted edge diff, so consumers —
+// the engine, wrapper adversaries, tests — can handle both step kinds
+// uniformly. Delta steps are folded into a pooled graph.Patcher (one
+// block-copy merge, no counting rebuild); materialized steps are adopted
+// as-is and their diff synthesized with one linear merge over the
+// EdgeKeys views of consecutive rounds.
+//
+// Lifetimes follow the patcher's double buffering: a resolved graph stays
+// valid through the next Resolve call and may be recycled by the one
+// after that; the returned diff slices are valid until the next Resolve.
+// Clone anything retained longer.
+type Resolver struct {
+	p      *graph.Patcher
+	prev   *graph.Graph
+	addBuf []graph.EdgeKey
+	remBuf []graph.EdgeKey
+}
+
+// NewResolver creates a resolver over an n-node universe; the previous
+// topology starts as the empty graph G_0.
+func NewResolver(n int) *Resolver {
+	p := graph.NewPatcher(n)
+	return &Resolver{p: p, prev: p.Current()}
+}
+
+// Resolve turns st into a (graph, adds, removes) triple. For a delta step
+// the graph is patched from the previous round and the given diff is
+// passed through; for a materialized step the diff is synthesized. The
+// same-graph fast path (adversaries like Static replay one immutable
+// graph) costs O(1).
+func (r *Resolver) Resolve(st *Step) (g *graph.Graph, adds, removes []graph.EdgeKey) {
+	if st.G == nil {
+		r.p.Reset(r.prev)
+		g = r.p.Apply(st.EdgeAdds, st.EdgeRemoves)
+		r.prev = g
+		return g, st.EdgeAdds, st.EdgeRemoves
+	}
+	g = st.G
+	if g == r.prev {
+		return g, nil, nil
+	}
+	adds, removes = graph.DiffSortedKeys(r.prev.EdgeKeys(), g.EdgeKeys(), r.addBuf[:0], r.remBuf[:0])
+	r.addBuf, r.remBuf = adds, removes
+	r.prev = g
+	return g, adds, removes
 }
 
 // AllNodes returns the full wake set 0..n-1.
@@ -78,7 +157,8 @@ func AllNodes(n int) []graph.NodeID {
 
 // Static plays a fixed graph every round and wakes all nodes at round 1.
 // With this adversary the simulation reduces to the classic static
-// synchronous model (Section 6).
+// synchronous model (Section 6). It hands out the same immutable graph
+// each round, which the Resolver recognizes as an O(1) empty diff.
 type Static struct {
 	G *graph.Graph
 }
@@ -119,19 +199,13 @@ func (a Alternator) Step(v View) Step {
 	return st
 }
 
-// Scripted replays a recorded trace; after the trace is exhausted it keeps
-// playing the final graph.
+// Scripted replays a recorded trace. Traces that expose their deltas
+// (dyngraph.Trace via DeltaSource) are replayed delta-natively — no graph
+// is ever materialized, each round is its recorded edge diff — and after
+// the trace is exhausted the final topology persists as empty diffs.
+// Plain TraceSources fall back to materialized steps.
 type Scripted struct {
 	steps []Step
-}
-
-// NewScripted materializes a trace into an adversary.
-func NewScripted(tr TraceSource) *Scripted {
-	s := &Scripted{}
-	tr.Replay(func(round int, g *graph.Graph, wake []graph.NodeID) {
-		s.steps = append(s.steps, Step{G: g, Wake: append([]graph.NodeID(nil), wake...)})
-	})
-	return s
 }
 
 // TraceSource is the replay surface of dyngraph.Trace, declared locally to
@@ -140,14 +214,42 @@ type TraceSource interface {
 	Replay(fn func(round int, g *graph.Graph, wake []graph.NodeID))
 }
 
+// DeltaSource is the delta-native replay surface of dyngraph.Trace.
+// Sources that implement it are scripted as edge diffs.
+type DeltaSource interface {
+	ReplayDeltas(fn func(round int, adds, removes []graph.EdgeKey, wake []graph.NodeID))
+}
+
+// NewScripted materializes a trace into an adversary, preferring the
+// delta-native replay surface when the source offers one.
+func NewScripted(tr TraceSource) *Scripted {
+	s := &Scripted{}
+	if ds, ok := tr.(DeltaSource); ok {
+		ds.ReplayDeltas(func(round int, adds, removes []graph.EdgeKey, wake []graph.NodeID) {
+			s.steps = append(s.steps, Step{
+				Wake:        append([]graph.NodeID(nil), wake...),
+				EdgeAdds:    append([]graph.EdgeKey(nil), adds...),
+				EdgeRemoves: append([]graph.EdgeKey(nil), removes...),
+			})
+		})
+		return s
+	}
+	tr.Replay(func(round int, g *graph.Graph, wake []graph.NodeID) {
+		s.steps = append(s.steps, Step{G: g, Wake: append([]graph.NodeID(nil), wake...)})
+	})
+	return s
+}
+
 // Step implements Adversary.
 func (s *Scripted) Step(v View) Step {
 	r := v.Round()
 	if r <= len(s.steps) {
 		return s.steps[r-1]
 	}
-	if len(s.steps) == 0 {
-		return Step{G: graph.Empty(v.N())}
+	if len(s.steps) == 0 || s.steps[0].G == nil {
+		// Delta-native script (or empty trace): an empty diff keeps the
+		// final topology playing.
+		return Step{}
 	}
 	last := s.steps[len(s.steps)-1]
 	return Step{G: last.G}

@@ -9,13 +9,18 @@ import (
 	"dynlocal/internal/problems"
 )
 
-// fakeView is a scriptable View for adversary unit tests.
+// fakeView is a scriptable View for adversary unit tests. Its play helper
+// resolves delta-native steps through a Resolver, so tests can assert on
+// materialized graphs regardless of which step kind an adversary emits.
+// Resolved graphs are pooled (valid for the current and next play); tests
+// that retain one longer Clone it.
 type fakeView struct {
 	round   int
 	n       int
 	prev    *graph.Graph
 	awake   []bool
 	delayed []problems.Value
+	res     *Resolver
 }
 
 func (f *fakeView) Round() int              { return f.round }
@@ -30,14 +35,17 @@ func (f *fakeView) Awake(v graph.NodeID) bool {
 func (f *fakeView) DelayedOutputs() []problems.Value { return f.delayed }
 
 func newFakeView(n int) *fakeView {
-	return &fakeView{round: 0, n: n, prev: graph.Empty(n)}
+	return &fakeView{round: 0, n: n, prev: graph.Empty(n), res: NewResolver(n)}
 }
 
-// play advances the adversary one round and returns the step.
+// play advances the adversary one round and returns the step with its
+// graph materialized (delta steps are folded through the resolver).
 func (f *fakeView) play(a Adversary) Step {
 	f.round++
 	st := a.Step(f)
-	f.prev = st.G
+	g, _, _ := f.res.Resolve(&st)
+	st.G = g
+	f.prev = g
 	return st
 }
 
@@ -135,7 +143,7 @@ func TestChurnActuallyChurns(t *testing.T) {
 	base := graph.GNP(30, 0.2, prf.NewStream(2, 0, 0, prf.PurposeWorkload))
 	adv := &Churn{Base: base, Add: 5, Del: 5, Seed: 7}
 	v := newFakeView(30)
-	first := v.play(adv).G
+	first := v.play(adv).G.Clone() // retained past the resolver's pooling window
 	tenth := first
 	for r := 2; r <= 10; r++ {
 		tenth = v.play(adv).G
@@ -345,5 +353,211 @@ func TestAllNodes(t *testing.T) {
 	all := AllNodes(4)
 	if len(all) != 4 || all[0] != 0 || all[3] != 3 {
 		t.Fatalf("AllNodes = %v", all)
+	}
+}
+
+// TestDeltaStepsAreExactDiffs drives every delta-capable adversary (plus
+// wrappers over delta-native inners) and checks the Step contract: emitted
+// diffs are strictly ascending, adds are absent from and removes present
+// in the previous topology, and folding them reproduces exactly the
+// resolved graph sequence.
+func TestDeltaStepsAreExactDiffs(t *testing.T) {
+	const n = 28
+	mkBase := func(seed uint64) *graph.Graph {
+		return graph.GNP(n, 0.2, prf.NewStream(seed, 0, 0, prf.PurposeWorkload))
+	}
+	advs := map[string]func() Adversary{
+		"churn": func() Adversary {
+			return &Churn{Base: mkBase(1), Add: 4, Del: 4, Seed: 5}
+		},
+		"edge-markov": func() Adversary {
+			return &EdgeMarkov{Footprint: mkBase(2), POn: 0.3, POff: 0.3, Seed: 6}
+		},
+		"local-static": func() Adversary {
+			base := mkBase(3)
+			return &LocalStatic{
+				Inner:     &Churn{Base: base, Add: 6, Del: 6, Seed: 7},
+				Base:      base,
+				Protected: []graph.NodeID{2, 20},
+				Alpha:     2,
+			}
+		},
+		"local-static-over-materialized": func() Adversary {
+			base := mkBase(4)
+			return &LocalStatic{
+				Inner:     &LubyStaller{Base: base, Seed: 8, Purpose: prf.PurposeLubyAlpha},
+				Base:      base,
+				Protected: []graph.NodeID{1},
+				Alpha:     1,
+			}
+		},
+		"scripted": func() Adversary {
+			tr := dyngraph.NewTrace(n)
+			s := prf.NewStream(9, 0, 0, prf.PurposeWorkload)
+			var prev *graph.Graph
+			for r := 1; r <= 6; r++ {
+				g := graph.GNP(n, 0.2, s)
+				var wake []graph.NodeID
+				if r == 1 {
+					wake = AllNodes(n)
+				}
+				tr.Append(prev, g, wake)
+				prev = g
+			}
+			return NewScripted(tr)
+		},
+	}
+	for name, mk := range advs {
+		t.Run(name, func(t *testing.T) {
+			adv := mk()
+			v := newFakeView(n)
+			present := make(map[graph.EdgeKey]bool)
+			sawDeltaStep := false
+			for r := 1; r <= 12; r++ {
+				v.round = r
+				st := adv.Step(v)
+				if st.G != nil {
+					t.Fatalf("round %d: expected a delta-native step", r)
+				}
+				sawDeltaStep = true
+				for i, k := range st.EdgeAdds {
+					if i > 0 && st.EdgeAdds[i-1] >= k {
+						t.Fatalf("round %d: adds not strictly ascending", r)
+					}
+					if present[k] {
+						t.Fatalf("round %d: add of present edge %v", r, k)
+					}
+					present[k] = true
+				}
+				for i, k := range st.EdgeRemoves {
+					if i > 0 && st.EdgeRemoves[i-1] >= k {
+						t.Fatalf("round %d: removes not strictly ascending", r)
+					}
+					if !present[k] {
+						t.Fatalf("round %d: remove of absent edge %v", r, k)
+					}
+					delete(present, k)
+				}
+				g, _, _ := v.res.Resolve(&st)
+				v.prev = g
+				if g.M() != len(present) {
+					t.Fatalf("round %d: folded %d edges, resolved graph has %d", r, len(present), g.M())
+				}
+				for k := range present {
+					if !g.HasEdge(k.Nodes()) {
+						t.Fatalf("round %d: folded edge %v missing from resolved graph", r, k)
+					}
+				}
+			}
+			if !sawDeltaStep {
+				t.Fatal("adversary emitted no delta steps")
+			}
+		})
+	}
+}
+
+// switchingInner flips between delta-native and materialized steps —
+// the step pattern a ConflictInjector-style wrapper produces — to pin
+// that LocalStatic's diff tracking survives mid-run switches.
+type switchingInner struct {
+	inner        Adversary
+	res          *Resolver
+	materialized func(round int) bool
+}
+
+func (s *switchingInner) Step(v View) Step {
+	st := s.inner.Step(v)
+	if s.res == nil {
+		s.res = NewResolver(v.N())
+	}
+	g, _, _ := s.res.Resolve(&st)
+	if s.materialized(v.Round()) {
+		return Step{G: g, Wake: st.Wake}
+	}
+	return st
+}
+
+// TestLocalStaticOverSwitchingInner drives LocalStatic over an inner
+// that alternates step kinds and checks the emitted diffs stay exact
+// (folding them through a Resolver must not panic and the frozen ball
+// must stay static) — the composition that a stale inner mirror broke.
+func TestLocalStaticOverSwitchingInner(t *testing.T) {
+	s := prf.NewStream(6, 0, 0, prf.PurposeWorkload)
+	base := graph.GNP(36, 0.18, s)
+	const protectedNode = 5
+	adv := &LocalStatic{
+		Inner: &switchingInner{
+			inner: &Churn{Base: base, Add: 6, Del: 6, Seed: 11},
+			// Delta rounds 1-4, materialized 5-8, delta again, then
+			// every third round materialized.
+			materialized: func(r int) bool { return (r >= 5 && r <= 8) || r%3 == 0 },
+		},
+		Base:      base,
+		Protected: []graph.NodeID{protectedNode},
+		Alpha:     2,
+	}
+	v := newFakeView(36)
+	prev := (*graph.Graph)(nil)
+	for r := 1; r <= 24; r++ {
+		st := v.play(adv) // play resolves: panics here on an inexact diff
+		if prev != nil && !graph.BallStatic(prev, st.G, protectedNode, 2) {
+			t.Fatalf("round %d: protected ball changed", r)
+		}
+		prev = st.G
+	}
+}
+
+// TestResolverSynthesizesDiffsForMaterializedSteps pins the legacy path:
+// graph-valued steps yield exactly the edge diff of consecutive graphs,
+// with an O(1) empty diff when the same graph object is replayed.
+func TestResolverSynthesizesDiffsForMaterializedSteps(t *testing.T) {
+	a, b := graph.Path(6), graph.Cycle(6)
+	res := NewResolver(6)
+	st := Step{G: a}
+	_, adds, removes := res.Resolve(&st)
+	if len(adds) != a.M() || len(removes) != 0 {
+		t.Fatalf("first resolve: %d adds %d removes, want %d/0", len(adds), len(removes), a.M())
+	}
+	// Same pointer: empty diff.
+	st = Step{G: a}
+	_, adds, removes = res.Resolve(&st)
+	if len(adds) != 0 || len(removes) != 0 {
+		t.Fatalf("same-graph resolve: %d adds %d removes", len(adds), len(removes))
+	}
+	// Path -> Cycle: one edge appears ({0,5}), none disappear.
+	st = Step{G: b}
+	_, adds, removes = res.Resolve(&st)
+	if len(adds) != 1 || adds[0] != graph.MakeEdgeKey(0, 5) || len(removes) != 0 {
+		t.Fatalf("path->cycle diff: adds %v removes %v", adds, removes)
+	}
+	// Mixed: a delta step after materialized steps patches from the last
+	// graph.
+	st = Step{EdgeRemoves: []graph.EdgeKey{graph.MakeEdgeKey(0, 5)}}
+	g, _, _ := res.Resolve(&st)
+	if !g.Equal(a) {
+		t.Fatalf("delta-after-materialized resolve: got %s, want path", g)
+	}
+}
+
+// TestScriptedDeltaNativePersistsFinalTopology pins the post-trace
+// behavior of delta-native scripts: empty diffs keep the last graph.
+func TestScriptedDeltaNativePersistsFinalTopology(t *testing.T) {
+	const n = 8
+	tr := dyngraph.NewTrace(n)
+	g1 := graph.Path(n)
+	tr.Append(nil, g1, AllNodes(n))
+	adv := NewScripted(tr)
+	v := newFakeView(n)
+	if st := v.play(adv); !st.G.Equal(g1) {
+		t.Fatal("round 1 mismatch")
+	}
+	for r := 2; r <= 4; r++ {
+		st := v.play(adv)
+		if st.G == nil || !st.G.Equal(g1) {
+			t.Fatalf("round %d: final topology not persisted", r)
+		}
+		if len(st.EdgeAdds) != 0 || len(st.EdgeRemoves) != 0 {
+			t.Fatalf("round %d: post-trace diffs not empty", r)
+		}
 	}
 }

@@ -1,6 +1,8 @@
 package adversary
 
 import (
+	"slices"
+
 	"dynlocal/internal/graph"
 	"dynlocal/internal/prf"
 )
@@ -9,6 +11,11 @@ import (
 // from a base graph it deletes Del random existing edges and inserts Add
 // random fresh edges in every round, forever. There is no recovery period —
 // algorithms must give guarantees while this is happening.
+//
+// Churn is delta-native: each round's random insertions and deletions are
+// the emitted edge diff (round 1 emits the base edge set), so no per-round
+// graph is materialized and downstream cost scales with Add+Del, not with
+// the graph size.
 type Churn struct {
 	Base *graph.Graph
 	Add  int
@@ -18,23 +25,24 @@ type Churn struct {
 	n       int
 	keys    []graph.EdgeKey
 	keyIdx  map[graph.EdgeKey]int
+	addBuf  []graph.EdgeKey
+	remBuf  []graph.EdgeKey
 	started bool
 }
 
 func (c *Churn) init() {
 	c.n = c.Base.N()
 	c.keyIdx = make(map[graph.EdgeKey]int)
-	c.Base.EachEdge(func(u, v graph.NodeID) {
-		k := graph.MakeEdgeKey(u, v)
+	for _, k := range c.Base.EdgeKeys() {
 		c.keyIdx[k] = len(c.keys)
 		c.keys = append(c.keys, k)
-	})
+	}
 	c.started = true
 }
 
-func (c *Churn) removeRandom(s *prf.Stream) {
+func (c *Churn) removeRandom(s *prf.Stream) (graph.EdgeKey, bool) {
 	if len(c.keys) == 0 {
-		return
+		return 0, false
 	}
 	i := s.Intn(len(c.keys))
 	k := c.keys[i]
@@ -43,9 +51,10 @@ func (c *Churn) removeRandom(s *prf.Stream) {
 	c.keyIdx[c.keys[i]] = i
 	c.keys = c.keys[:last]
 	delete(c.keyIdx, k)
+	return k, true
 }
 
-func (c *Churn) addRandom(s *prf.Stream) {
+func (c *Churn) addRandom(s *prf.Stream) (graph.EdgeKey, bool) {
 	for attempt := 0; attempt < 64; attempt++ {
 		u := graph.NodeID(s.Intn(c.n))
 		v := graph.NodeID(s.Intn(c.n))
@@ -58,31 +67,66 @@ func (c *Churn) addRandom(s *prf.Stream) {
 		}
 		c.keyIdx[k] = len(c.keys)
 		c.keys = append(c.keys, k)
-		return
+		return k, true
 	}
+	return 0, false
 }
 
-// Step implements Adversary.
+// Step implements Adversary. Rounds after the first return delta steps
+// whose add/remove buffers are reused on the next call.
 func (c *Churn) Step(v View) Step {
 	if !c.started {
 		c.init()
 	}
-	st := Step{}
 	if v.Round() == 1 {
-		st.Wake = AllNodes(c.n)
-	} else {
-		s := advStream(c.Seed, v.Round())
-		for i := 0; i < c.Del; i++ {
-			c.removeRandom(&s)
-		}
-		for i := 0; i < c.Add; i++ {
-			c.addRandom(&s)
+		// The base edge set is round 1's diff from the empty G_0; the
+		// immutable base graph's key view needs no copy.
+		return Step{Wake: AllNodes(c.n), EdgeAdds: c.Base.EdgeKeys()}
+	}
+	s := advStream(c.Seed, v.Round())
+	removes := c.remBuf[:0]
+	adds := c.addBuf[:0]
+	for i := 0; i < c.Del; i++ {
+		if k, ok := c.removeRandom(&s); ok {
+			removes = append(removes, k)
 		}
 	}
-	// keys is duplicate-free by construction; FromEdges sorts a copy and
-	// assembles the CSR graph without touching the working set.
-	st.G = graph.FromEdges(c.n, c.keys)
-	return st
+	for i := 0; i < c.Add; i++ {
+		if k, ok := c.addRandom(&s); ok {
+			adds = append(adds, k)
+		}
+	}
+	slices.Sort(adds)
+	slices.Sort(removes)
+	// An edge deleted and re-inserted in the same round is a net no-op:
+	// cancel the pair so the diff is an exact set difference.
+	adds, removes = cancelCommon(adds, removes)
+	c.addBuf, c.remBuf = adds, removes
+	return Step{EdgeAdds: adds, EdgeRemoves: removes}
+}
+
+// cancelCommon removes keys present in both sorted lists, in place.
+func cancelCommon(a, b []graph.EdgeKey) ([]graph.EdgeKey, []graph.EdgeKey) {
+	i, j := 0, 0
+	wa, wb := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			a[wa] = a[i]
+			wa++
+			i++
+		case a[i] > b[j]:
+			b[wb] = b[j]
+			wb++
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	wa += copy(a[wa:], a[i:])
+	wb += copy(b[wb:], b[j:])
+	return a[:wa], b[:wb]
 }
 
 // EdgeMarkov flips the edges of a footprint graph independently each round:
@@ -90,6 +134,11 @@ func (c *Churn) Step(v View) Step {
 // appears with probability POn. This is the standard edge-Markov
 // dynamic-graph process restricted to a footprint, an oblivious adversary
 // by construction (it never reads the view's outputs).
+//
+// EdgeMarkov is the canonical delta-native adversary: the coin flips are
+// the topology diff. Each round emits exactly the edges that flipped on
+// and off (in footprint order, which is canonical key order), so a round
+// costs O(|footprint|) coin draws and O(flips) downstream.
 type EdgeMarkov struct {
 	Footprint *graph.Graph
 	POn       float64
@@ -100,7 +149,8 @@ type EdgeMarkov struct {
 	// map) keeps the per-round coin order deterministic and allocation-free.
 	keys    []graph.EdgeKey
 	on      []bool
-	scratch []graph.EdgeKey
+	addBuf  []graph.EdgeKey
+	remBuf  []graph.EdgeKey
 	started bool
 }
 
@@ -113,34 +163,30 @@ func (m *EdgeMarkov) init() {
 	m.started = true
 }
 
-// Step implements Adversary.
+// Step implements Adversary. Rounds after the first return delta steps
+// whose add/remove buffers are reused on the next call.
 func (m *EdgeMarkov) Step(v View) Step {
 	if !m.started {
 		m.init()
 	}
-	st := Step{}
 	if v.Round() == 1 {
-		st.Wake = AllNodes(m.Footprint.N())
-	} else {
-		s := advStream(m.Seed, v.Round())
-		for i, isOn := range m.on {
-			if isOn {
-				if s.Bernoulli(m.POff) {
-					m.on[i] = false
-				}
-			} else if s.Bernoulli(m.POn) {
-				m.on[i] = true
-			}
-		}
+		return Step{Wake: AllNodes(m.Footprint.N()), EdgeAdds: m.keys}
 	}
-	live := m.scratch[:0]
+	s := advStream(m.Seed, v.Round())
+	adds := m.addBuf[:0]
+	removes := m.remBuf[:0]
 	for i, isOn := range m.on {
 		if isOn {
-			live = append(live, m.keys[i])
+			if s.Bernoulli(m.POff) {
+				m.on[i] = false
+				removes = append(removes, m.keys[i])
+			}
+		} else if s.Bernoulli(m.POn) {
+			m.on[i] = true
+			adds = append(adds, m.keys[i])
 		}
 	}
-	m.scratch = live
-	// keys is sorted (Edges order), so the live subsequence is too.
-	st.G = graph.FromSortedEdges(m.Footprint.N(), live)
-	return st
+	m.addBuf, m.remBuf = adds, removes
+	// keys is sorted (Edges order), so the flip subsequences are too.
+	return Step{EdgeAdds: adds, EdgeRemoves: removes}
 }

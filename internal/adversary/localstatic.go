@@ -1,6 +1,8 @@
 package adversary
 
 import (
+	"slices"
+
 	"dynlocal/internal/graph"
 )
 
@@ -11,10 +13,17 @@ import (
 // round, while the inner adversary churns the rest of the graph freely.
 //
 // The freeze is implemented conservatively: let B = ∪_v Ball(Base, v, α).
-// Every round, edges of the inner graph incident to B are discarded and
+// Every round, edges of the inner topology incident to B are discarded and
 // replaced by the Base edges incident to B. Then (a) all paths of length
 // ≤ α from a protected node run through frozen nodes, so N^α(v) is the
 // Base ball every round, and (b) all edges induced on it are Base edges.
+//
+// LocalStatic is delta-native and composes with either step kind from the
+// inner adversary: the frozen zone never changes after round 1, so the
+// wrapper's diff is simply the inner diff filtered to edges with no frozen
+// endpoint (inner diffs are taken as given from delta steps, or recovered
+// by a linear merge for materialized inner steps), plus the frozen base
+// edges once in round 1.
 type LocalStatic struct {
 	Inner     Adversary
 	Base      *graph.Graph
@@ -23,7 +32,14 @@ type LocalStatic struct {
 
 	frozen   []bool // node in B
 	baseEdge []graph.EdgeKey
-	scratch  []graph.EdgeKey
+	// innerSet mirrors the inner adversary's topology after its last
+	// step, so diffs stay exact even when the inner switches between
+	// delta and materialized steps mid-run (ConflictInjector does).
+	innerSet map[graph.EdgeKey]struct{}
+	addBuf   []graph.EdgeKey
+	remBuf   []graph.EdgeKey
+	diffAdd  []graph.EdgeKey
+	diffRem  []graph.EdgeKey
 	started  bool
 }
 
@@ -34,11 +50,13 @@ func (l *LocalStatic) init() {
 			l.frozen[u] = true
 		}
 	}
-	l.Base.EachEdge(func(u, v graph.NodeID) {
+	for _, k := range l.Base.EdgeKeys() {
+		u, v := k.Nodes()
 		if l.frozen[u] || l.frozen[v] {
-			l.baseEdge = append(l.baseEdge, graph.MakeEdgeKey(u, v))
+			l.baseEdge = append(l.baseEdge, k)
 		}
-	})
+	}
+	l.innerSet = make(map[graph.EdgeKey]struct{})
 	l.started = true
 }
 
@@ -56,30 +74,107 @@ func (l *LocalStatic) FrozenZone() []graph.NodeID {
 	return out
 }
 
+// innerDeltas returns the inner step's edge diff — passed through for
+// delta steps, synthesized for materialized steps — while keeping
+// innerSet an exact mirror of the inner topology, so the two step kinds
+// may alternate freely. Delta steps cost O(changes); materialized steps
+// cost O(|E_r|), which is what a materializing inner costs anyway.
+func (l *LocalStatic) innerDeltas(inner *Step) (adds, removes []graph.EdgeKey) {
+	if inner.G == nil {
+		for _, k := range inner.EdgeAdds {
+			l.innerSet[k] = struct{}{}
+		}
+		for _, k := range inner.EdgeRemoves {
+			delete(l.innerSet, k)
+		}
+		return inner.EdgeAdds, inner.EdgeRemoves
+	}
+	// Adds: edges of the graph missing from the mirror (sorted, being a
+	// subsequence of the sorted key view). Removes: mirror entries not
+	// consumed by the scan — deleted as cur edges match, what remains in
+	// the mirror afterwards is exactly the removed set.
+	adds = l.diffAdd[:0]
+	cur := inner.G.EdgeKeys()
+	for _, k := range cur {
+		if _, ok := l.innerSet[k]; ok {
+			delete(l.innerSet, k)
+		} else {
+			adds = append(adds, k)
+		}
+	}
+	removes = l.diffRem[:0]
+	for k := range l.innerSet {
+		removes = append(removes, k)
+	}
+	slices.Sort(removes)
+	l.diffAdd, l.diffRem = adds, removes
+	// Rebuild the mirror to the new topology.
+	clear(l.innerSet)
+	for _, k := range cur {
+		l.innerSet[k] = struct{}{}
+	}
+	return adds, removes
+}
+
 // Step implements Adversary.
 func (l *LocalStatic) Step(v View) Step {
 	if !l.started {
 		l.init()
 	}
 	inner := l.Inner.Step(v)
-	// Surviving inner edges (no frozen endpoint) and frozen base edges
-	// (>= 1 frozen endpoint) are disjoint by construction; FromEdges
-	// sorts and dedups anyway.
-	keys := l.scratch[:0]
-	inner.G.EachEdge(func(x, y graph.NodeID) {
-		if !l.frozen[x] && !l.frozen[y] {
-			keys = append(keys, graph.MakeEdgeKey(x, y))
+	innerAdds, innerRemoves := l.innerDeltas(&inner)
+	// Surviving inner diff entries (no frozen endpoint); a delta step's
+	// inner additions within the frozen zone are dropped exactly as the
+	// materialized filter dropped the edges themselves.
+	adds := l.addBuf[:0]
+	for _, k := range innerAdds {
+		u, w := k.Nodes()
+		if !l.frozen[u] && !l.frozen[w] {
+			adds = append(adds, k)
 		}
-	})
-	keys = append(keys, l.baseEdge...)
-	l.scratch = keys
-	st := Step{G: graph.FromEdges(l.Base.N(), keys), Wake: inner.Wake}
+	}
+	removes := l.remBuf[:0]
+	for _, k := range innerRemoves {
+		u, w := k.Nodes()
+		if !l.frozen[u] && !l.frozen[w] {
+			removes = append(removes, k)
+		}
+	}
+	st := Step{Wake: inner.Wake}
 	if v.Round() == 1 {
-		// The frozen zone must be awake from the start: its topology is
-		// pinned from round 1.
+		// The frozen base edges appear once; they are disjoint from the
+		// filtered inner edges (≥ 1 frozen endpoint vs none), so a sorted
+		// merge of the two lists is the round-1 diff. The frozen zone must
+		// be awake from the start: its topology is pinned from round 1.
+		adds = mergeSortedKeys(adds, l.baseEdge)
 		st.Wake = mergeWake(st.Wake, l.FrozenZone())
 	}
+	l.addBuf, l.remBuf = adds, removes
+	st.EdgeAdds, st.EdgeRemoves = adds, removes
 	return st
+}
+
+// mergeSortedKeys merges two sorted, disjoint key lists into one sorted
+// list; a fresh slice is allocated whenever b is non-empty (only hit in
+// round 1, merging the frozen base edges).
+func mergeSortedKeys(a, b []graph.EdgeKey) []graph.EdgeKey {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]graph.EdgeKey, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 func mergeWake(a, b []graph.NodeID) []graph.NodeID {
@@ -108,13 +203,17 @@ func mergeWake(a, b []graph.NodeID) []graph.NodeID {
 // only View.DelayedOutputs.
 //
 // Injected edges persist, so an unresolved conflict would eventually enter
-// the intersection graph and be flagged by the T-dynamic checker.
+// the intersection graph and be flagged by the T-dynamic checker. The
+// wrapper resolves delta-native inner steps through a Resolver (it needs
+// the materialized inner graph for duplicate checks); before the first
+// injection it passes inner steps through unchanged.
 type ConflictInjector struct {
 	Inner    Adversary
 	Rate     int // injection attempts per round
 	MinRound int
 	Seed     uint64
 
+	res      *Resolver
 	injected []graph.EdgeKey
 	have     map[graph.EdgeKey]bool
 	scratch  []graph.EdgeKey
@@ -132,8 +231,10 @@ type Injection struct {
 func (ci *ConflictInjector) Step(v View) Step {
 	if ci.have == nil {
 		ci.have = make(map[graph.EdgeKey]bool)
+		ci.res = NewResolver(v.N())
 	}
 	inner := ci.Inner.Step(v)
+	innerG, _, _ := ci.res.Resolve(&inner)
 	r := v.Round()
 	out := v.DelayedOutputs()
 	if r >= ci.MinRound && out != nil {
@@ -159,7 +260,7 @@ func (ci *ConflictInjector) Step(v View) Step {
 				continue
 			}
 			k := graph.MakeEdgeKey(a, b)
-			if ci.have[k] || inner.G.HasEdge(a, b) {
+			if ci.have[k] || innerG.HasEdge(a, b) {
 				continue
 			}
 			ci.have[k] = true
@@ -170,8 +271,8 @@ func (ci *ConflictInjector) Step(v View) Step {
 	if len(ci.injected) == 0 {
 		return inner
 	}
-	keys := inner.G.AppendEdges(ci.scratch[:0])
+	keys := innerG.AppendEdges(ci.scratch[:0])
 	keys = append(keys, ci.injected...)
 	ci.scratch = keys
-	return Step{G: graph.FromEdges(inner.G.N(), keys), Wake: inner.Wake}
+	return Step{G: graph.FromEdges(innerG.N(), keys), Wake: inner.Wake}
 }

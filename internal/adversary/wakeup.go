@@ -7,13 +7,20 @@ import (
 
 // Wakeup wraps an inner adversary with an asynchronous wake-up schedule
 // (Section 2: V_0 = ∅ ⊆ V_1 ⊆ V_2 ⊆ …). Node v wakes in round
-// Schedule[v] (1-based); edges of the inner graph incident to still-asleep
-// nodes are suppressed. The inner adversary's own wake sets are ignored —
-// the schedule is authoritative.
+// Schedule[v] (1-based); edges of the inner topology incident to
+// still-asleep nodes are suppressed. The inner adversary's own wake sets
+// are ignored — the schedule is authoritative.
+//
+// Wakeup materializes its filtered graph each round (a suppressed edge
+// must reappear when its second endpoint wakes, which is not a function
+// of the inner diff alone), resolving delta-native inner steps through a
+// Resolver. It is the package's reference "legacy" wrapper: the engine
+// synthesizes its topology diff by edge-list merge.
 type Wakeup struct {
 	Inner    Adversary
 	Schedule []int
 
+	res     *Resolver
 	awake   []bool
 	scratch []graph.EdgeKey
 }
@@ -22,6 +29,7 @@ type Wakeup struct {
 func (w *Wakeup) Step(v View) Step {
 	if w.awake == nil {
 		w.awake = make([]bool, len(w.Schedule))
+		w.res = NewResolver(v.N())
 	}
 	r := v.Round()
 	var wake []graph.NodeID
@@ -32,15 +40,17 @@ func (w *Wakeup) Step(v View) Step {
 		}
 	}
 	inner := w.Inner.Step(v)
+	innerG, _, _ := w.res.Resolve(&inner)
 	keys := w.scratch[:0]
-	inner.G.EachEdge(func(x, y graph.NodeID) {
+	for _, k := range innerG.EdgeKeys() {
+		x, y := k.Nodes()
 		if w.awake[x] && w.awake[y] {
-			keys = append(keys, graph.MakeEdgeKey(x, y))
+			keys = append(keys, k)
 		}
-	})
+	}
 	w.scratch = keys
-	// EachEdge visits edges in canonical order, so keys is sorted.
-	return Step{G: graph.FromSortedEdges(inner.G.N(), keys), Wake: wake}
+	// EdgeKeys is sorted, so the filtered subsequence is too.
+	return Step{G: graph.FromSortedEdges(innerG.N(), keys), Wake: wake}
 }
 
 // StaggeredSchedule wakes perRound nodes per round in id order.

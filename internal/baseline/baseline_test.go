@@ -45,9 +45,10 @@ func TestGreedyRepairMISRepairsSingleChange(t *testing.T) {
 	g := graph.GNP(n, 6.0/n, workload(3))
 	churnThenQuiet := adversaryPhase{quietAfter: 30, inner: &adversary.Churn{Base: g, Add: 1, Del: 1, Seed: 4}}
 	e := engine.New(engine.Config{N: n, Seed: 5}, &churnThenQuiet, GreedyRepairMIS{N: n})
+	var lastG *graph.Graph
+	e.OnRound(func(info *engine.RoundInfo) { lastG = info.Graph })
 	e.Run(90)
 	final := e.Outputs()
-	lastG := churnThenQuiet.last
 	all := adversary.AllNodes(n)
 	if bad := (problems.IndependentSet{}).CheckFull(lastG, final, all); len(bad) != 0 {
 		t.Fatalf("independence not repaired: %v", bad[0])
@@ -141,18 +142,17 @@ func TestGreedyRepairViolatesUnderConstantChurn(t *testing.T) {
 }
 
 // adversaryPhase plays the inner adversary until quietAfter, then repeats
-// the last graph forever.
+// the last topology forever. The quiet phase is an empty delta step —
+// "nothing changed" — which works over both materialized and delta-native
+// inners.
 type adversaryPhase struct {
 	inner      adversary.Adversary
 	quietAfter int
-	last       *graph.Graph
 }
 
 func (a *adversaryPhase) Step(v adversary.View) adversary.Step {
 	if v.Round() <= a.quietAfter {
-		st := a.inner.Step(v)
-		a.last = st.G
-		return st
+		return a.inner.Step(v)
 	}
-	return adversary.Step{G: a.last}
+	return adversary.Step{}
 }

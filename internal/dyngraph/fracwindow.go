@@ -69,13 +69,15 @@ func (w *FracWindow) Observe(g *graph.Graph, wakeNow []graph.NodeID) {
 			w.mask[k] = m
 		}
 	}
-	g.EachEdge(func(u, v graph.NodeID) {
+	// Panic formatting lives behind the branch in panicSleepingEdge so
+	// the per-edge loop stays free of fmt machinery.
+	for _, k := range g.EdgeKeys() {
+		u, v := k.Nodes()
 		if w.wake[u] == 0 || w.wake[v] == 0 {
-			panic(fmt.Sprintf("dyngraph: edge {%d,%d} touches a sleeping node in round %d", u, v, w.round))
+			panicSleepingEdge(u, v, w.round)
 		}
-		k := graph.MakeEdgeKey(u, v)
 		w.mask[k] |= 1
-	})
+	}
 }
 
 // Count returns in how many of the windowed rounds the edge was present.

@@ -43,7 +43,10 @@ func (t *Trace) N() int { return t.n }
 func (t *Trace) Rounds() int { return len(t.rounds) }
 
 // Append records the next round. prev is the previous round's graph (nil
-// for the first round, meaning the empty graph); g the new graph.
+// for the first round, meaning the empty graph); g the new graph. prev
+// must be the graph of the previously appended round — the stored deltas
+// are the diffs of the appended sequence, and ReplayDeltas hands them out
+// as such.
 func (t *Trace) Append(prev, g *graph.Graph, wake []graph.NodeID) {
 	if g.N() != t.n {
 		panic("dyngraph: trace node space mismatch")
@@ -80,6 +83,18 @@ func (t *Trace) Replay(fn func(round int, g *graph.Graph, wake []graph.NodeID)) 
 			b.RemoveEdge(u, v)
 		}
 		fn(i+1, b.Graph(), st.wake)
+	}
+}
+
+// ReplayDeltas walks the recorded rounds without materializing any graph,
+// invoking fn with each round's sorted edge additions and removals and its
+// wake set — the delta-native replay surface consumed by
+// adversary.Scripted, under which a replayed schedule costs O(changes) per
+// round end to end. The slices alias trace-owned storage; callers must
+// copy anything they retain.
+func (t *Trace) ReplayDeltas(fn func(round int, adds, removes []graph.EdgeKey, wake []graph.NodeID)) {
+	for i, st := range t.rounds {
+		fn(i+1, st.added, st.removed, st.wake)
 	}
 }
 
@@ -198,6 +213,14 @@ func DecodeTrace(r io.Reader) (*Trace, error) {
 	if rounds < decodePrealloc {
 		t.rounds = make([]step, 0, rounds)
 	}
+	// present tracks the replayed edge set so the deltas are validated for
+	// consistency: every addition must be of an absent edge, every removal
+	// of a present one. Downstream delta consumers (adversary.Scripted
+	// feeding the engine's graph patcher) treat inconsistent diffs as
+	// programming errors and panic, so hostile wire input must be rejected
+	// here with an error instead. Memory is bounded by the input size —
+	// every tracked edge costs at least one encoded byte.
+	present := make(map[graph.EdgeKey]struct{})
 	for i := uint64(0); i < rounds; i++ {
 		var st step
 		wn, err := binary.ReadUvarint(br)
@@ -222,6 +245,18 @@ func DecodeTrace(r io.Reader) (*Trace, error) {
 		}
 		if st.removed, err = readEdgeList(br, n64); err != nil {
 			return nil, fmt.Errorf("dyngraph: trace round %d removed edges: %w", i+1, err)
+		}
+		for _, k := range st.added {
+			if _, ok := present[k]; ok {
+				return nil, fmt.Errorf("dyngraph: trace round %d adds already-present edge %v", i+1, k)
+			}
+			present[k] = struct{}{}
+		}
+		for _, k := range st.removed {
+			if _, ok := present[k]; !ok {
+				return nil, fmt.Errorf("dyngraph: trace round %d removes absent edge %v", i+1, k)
+			}
+			delete(present, k)
 		}
 		t.rounds = append(t.rounds, st)
 	}

@@ -215,6 +215,79 @@ func TestTraceDecodeValidTraceReplays(t *testing.T) {
 	}
 }
 
+// TestTraceReplayDeltasMatchesReplay pins the delta-native replay surface:
+// folding ReplayDeltas' add/remove events must reconstruct exactly the
+// graphs Replay materializes, with identical wake sets, and the emitted
+// lists must be strictly ascending (the contract adversary.Scripted and
+// the engine's patcher rely on).
+func TestTraceReplayDeltasMatchesReplay(t *testing.T) {
+	tr, history := buildSampleTrace(t, 21, 16, 10)
+	present := make(map[graph.EdgeKey]bool)
+	round := 0
+	tr.ReplayDeltas(func(r int, adds, removes []graph.EdgeKey, wake []graph.NodeID) {
+		round++
+		if r != round {
+			t.Fatalf("delta replay round %d, want %d", r, round)
+		}
+		for i, k := range adds {
+			if i > 0 && adds[i-1] >= k {
+				t.Fatalf("round %d: adds not strictly ascending", r)
+			}
+			if present[k] {
+				t.Fatalf("round %d: add of present edge %v", r, k)
+			}
+			present[k] = true
+		}
+		for i, k := range removes {
+			if i > 0 && removes[i-1] >= k {
+				t.Fatalf("round %d: removes not strictly ascending", r)
+			}
+			if !present[k] {
+				t.Fatalf("round %d: remove of absent edge %v", r, k)
+			}
+			delete(present, k)
+		}
+		want := history[r-1]
+		if len(present) != want.M() {
+			t.Fatalf("round %d: folded %d edges, want %d", r, len(present), want.M())
+		}
+		for k := range present {
+			if !want.HasEdge(k.Nodes()) {
+				t.Fatalf("round %d: folded edge %v not in replayed graph", r, k)
+			}
+		}
+		if r == 1 && len(wake) != 16 {
+			t.Fatalf("round 1 wake = %v", wake)
+		}
+	})
+	if round != tr.Rounds() {
+		t.Fatalf("delta-replayed %d rounds, want %d", round, tr.Rounds())
+	}
+}
+
+// TestTraceDecodeRejectsInconsistentDeltas pins the decoder's delta
+// consistency validation: wire input whose rounds add a present edge or
+// remove an absent one must error out, since downstream delta consumers
+// treat such diffs as panics.
+func TestTraceDecodeRejectsInconsistentDeltas(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		// n=4, 2 rounds: round 1 adds {0,1}; round 2 adds {0,1} again.
+		{"re-add-present", corruptTrace(1, 4, 2, 0, 1, 1, 0, 0, 1, 1, 0)},
+		// n=4, 1 round: removes {0,1} which was never added.
+		{"remove-absent", corruptTrace(1, 4, 1, 0, 0, 1, 1)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if tr, err := DecodeTrace(bytes.NewReader(c.data)); err == nil {
+				t.Fatalf("inconsistent trace accepted: %+v", tr)
+			}
+		})
+	}
+}
+
 func TestTraceEncodingIsCompact(t *testing.T) {
 	// Delta encoding should beat 16 bytes/edge-change by a wide margin on
 	// sorted keys.

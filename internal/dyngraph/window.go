@@ -6,29 +6,48 @@
 // δ-fraction generalization sketched as future work in Section 7.2, and a
 // binary trace format for recording and replaying dynamic graph sequences.
 //
-// Window maintenance is incremental and delta-producing: besides answering
-// membership queries and materializing the window graphs, Observe reports
-// the round-over-round set differences of E^∩T, E^∪T and V^∩T as a Delta.
-// Per round the cost is O(|E_r| + |E_{r-1}|) map and merge work plus O(1)
-// amortized per topology change — no per-round rescan of the window
-// contents. Downstream checkers (internal/verify) consume the deltas to
-// maintain violation state in O(changes·Δ) instead of rebuilding and
-// rescanning the window graphs, which is the difference between O(#changes)
-// and O(n+m) verification per round (cf. the incremental-maintenance
-// framing of Censor-Hillel et al., "Fast Deterministic Algorithms for
-// Highly-Dynamic Networks").
+// Window maintenance is delta-native: the windowed sets are maintained from
+// per-round edge add/remove events, via streak bookkeeping and two ring
+// buffers (scheduled intersection arrivals and union expiries), so the cost
+// of a round is O(|adds| + |removes|) — it scales with how much the
+// topology changed, not with how large the round graph is. Two feeds drive
+// the same core:
+//
+//   - ObserveEdgeDelta(adds, removes, wakeNow) consumes a sorted topology
+//     diff directly — the feed used when the adversary/engine pipeline is
+//     delta-native (engine.RoundInfo.EdgeAdds/EdgeRemoves) — and does no
+//     per-round work proportional to |E_r| at all.
+//   - Observe/ObserveDelta(g, wakeNow) accept a full round graph and
+//     recover the diff with one linear merge over the sorted edge-key
+//     views (graph.EdgeKeys) of consecutive rounds, O(|E_r| + |E_{r-1}|).
+//     This scan feed is the oracle path the delta feed is property-tested
+//     against.
+//
+// A window must stay on one feed style for its lifetime (mixing panics):
+// the scan feed keeps the previous round's edge list for diffing, which
+// the delta feed deliberately does not maintain.
+//
+// Besides answering membership queries and materializing the window
+// graphs, both feeds report the round-over-round set differences of E^∩T,
+// E^∪T and V^∩T as a Delta. Downstream checkers (internal/verify) consume
+// the deltas to maintain violation state in O(changes·Δ) instead of
+// rebuilding and rescanning the window graphs, which is the difference
+// between O(#changes) and O(n+m) verification per round (cf. the
+// incremental-maintenance framing of Censor-Hillel et al., "Fast
+// Deterministic Algorithms for Highly-Dynamic Networks").
 //
 // Delta slices are sorted (ascending edge keys / node ids) and are
 // internal buffers reused on the next Observe: observers may iterate
 // them during the round but must copy anything they retain — the same
 // pooling contract the engine uses for RoundInfo (internal/engine).
-// Windows observe the same per-round graphs the engine plays, so a
+// Windows observe the same per-round topology the engine plays, so a
 // checker can drive one window alongside the engine and pair these edge
 // deltas with the engine's changed-output feed; internal/verify does
 // exactly that, pushing both into the violation trackers of
 // internal/problems. The equivalence of both the materialized graphs and
 // the emitted deltas with the direct Definition 2.1 computation is
-// property-tested against graph.IntersectAll/UnionAll.
+// property-tested against graph.IntersectAll/UnionAll, and the delta feed
+// against the scan feed.
 package dyngraph
 
 import (
@@ -38,10 +57,13 @@ import (
 	"dynlocal/internal/graph"
 )
 
-// edgeSpan tracks when an edge was last observed, since when it has been
-// observed in every consecutive round, and whether it is currently a member
-// of the intersection graph E^∩T.
+// edgeSpan tracks an edge's presence streak: whether it is in the current
+// round graph, when its current/most recent streak started, when it was
+// last present (maintained only while absent — for a present edge the last
+// round seen is implicitly the current round), and whether it is currently
+// a member of the intersection graph E^∩T.
 type edgeSpan struct {
+	present     bool
 	lastSeen    int
 	streakStart int
 	inInter     bool
@@ -68,31 +90,49 @@ type Delta struct {
 	UnionAdded, UnionRemoved []graph.EdgeKey
 }
 
+// Feed styles a Window can be driven by; fixed at the first observation.
+const (
+	feedUnset = iota
+	feedGraph // Observe/ObserveDelta: full graphs, diff recovered by merge
+	feedDelta // ObserveEdgeDelta: caller-supplied sorted diffs
+)
+
 // Window incrementally maintains G^∩T_r and G^∪T_r over an observed round
-// sequence. Rounds are 1-based: the first Observe call is round 1 and
+// sequence. Rounds are 1-based: the first observation is round 1 and
 // round 0 is the empty graph G_0 = (∅, ∅) of the model.
 //
-// Invariant: after every Observe, the spans map holds exactly the edges of
-// E^∪T_r, and an edgeSpan's inInter flag holds exactly for E^∩T_r.
+// Invariant: after every observation, the spans map holds exactly the
+// edges of E^∪T_r (present edges are always union members), and an
+// edgeSpan's inInter flag holds exactly for E^∩T_r.
 type Window struct {
 	t       int
 	n       int
 	round   int
+	mode    int
 	spans   map[graph.EdgeKey]edgeSpan
 	wake    []int           // wake[v] = round v woke up, 0 if still asleep
 	scratch []graph.EdgeKey // reused by graph materialization
 
-	// Delta machinery. prevEdges holds G_{r-1}'s sorted edge keys;
-	// expiry[j%t] holds edges whose presence streak ended in round j —
-	// pushed when the edge drops out of the round graph, examined exactly
-	// once t rounds later when the streak's last round leaves the union
-	// window. byWake buckets woken nodes by wake round; bucket r0 is
-	// consumed (the nodes join V^∩T) in round r0+t-1.
+	// Ring buffers, both with one slot per window offset. expiry[j%t]
+	// holds edges whose presence streak ended in round j — pushed when the
+	// edge drops out of the round graph, examined exactly once t rounds
+	// later when the streak's last round leaves the union window.
+	// pending[(a+t-1)%t] holds edges whose streak started in round a —
+	// examined in round a+t-1, when an unbroken streak has covered the
+	// whole window and the edge joins E^∩T. byWake buckets woken nodes by
+	// wake round; bucket r0 is consumed (the nodes join V^∩T) in round
+	// r0+t-1.
+	expiry  [][]graph.EdgeKey
+	pending [][]graph.EdgeKey
+	byWake  map[int][]graph.NodeID
+	delta   Delta
+
+	// Scan-feed state: the previous round's sorted edge list and the
+	// diff scratch buffers. Maintained only under feedGraph.
 	prevEdges []graph.EdgeKey
 	curEdges  []graph.EdgeKey
-	expiry    [][]graph.EdgeKey
-	byWake    map[int][]graph.NodeID
-	delta     Delta
+	addBuf    []graph.EdgeKey
+	remBuf    []graph.EdgeKey
 }
 
 // NewWindow creates a window of size t >= 1 over a node universe of size n.
@@ -101,12 +141,13 @@ func NewWindow(t, n int) *Window {
 		panic(fmt.Sprintf("dyngraph: window size %d < 1", t))
 	}
 	return &Window{
-		t:      t,
-		n:      n,
-		spans:  make(map[graph.EdgeKey]edgeSpan),
-		wake:   make([]int, n),
-		expiry: make([][]graph.EdgeKey, t),
-		byWake: make(map[int][]graph.NodeID),
+		t:       t,
+		n:       n,
+		spans:   make(map[graph.EdgeKey]edgeSpan),
+		wake:    make([]int, n),
+		expiry:  make([][]graph.EdgeKey, t),
+		pending: make([][]graph.EdgeKey, t),
+		byWake:  make(map[int][]graph.NodeID),
 	}
 }
 
@@ -133,6 +174,20 @@ func (w *Window) windowStart() int {
 	return r0
 }
 
+// setMode pins the feed style on first use; mixing feeds panics because
+// the scan feed's previous-round edge list is not maintained by the delta
+// feed (keeping it current would re-introduce the O(|E_r|) merge the delta
+// feed exists to avoid).
+func (w *Window) setMode(mode int) {
+	if w.mode == feedUnset {
+		w.mode = mode
+		return
+	}
+	if w.mode != mode {
+		panic("dyngraph: a Window must be fed either graphs (Observe) or diffs (ObserveEdgeDelta), not both")
+	}
+}
+
 // Observe advances the window to the next round with communication graph g
 // and the given newly awake nodes. Edges of g incident to nodes that have
 // never been woken are rejected with a panic: the model only allows edges
@@ -145,10 +200,43 @@ func (w *Window) Observe(g *graph.Graph, wakeNow []graph.NodeID) {
 // reports the membership changes of E^∩T, E^∪T and V^∩T relative to the
 // previous round. The returned Delta aliases buffers reused by the next
 // Observe call; copy anything retained beyond the round.
+//
+// This is the scan feed: the round's topology diff is recovered with one
+// linear merge over the sorted edge lists of consecutive rounds. Callers
+// that already hold the diff — anything driven by the engine's
+// RoundInfo.EdgeAdds/EdgeRemoves — should use ObserveEdgeDelta, which
+// does O(changes) work instead.
 func (w *Window) ObserveDelta(g *graph.Graph, wakeNow []graph.NodeID) *Delta {
 	if g.N() != w.n {
 		panic("dyngraph: graph node space does not match window")
 	}
+	w.setMode(feedGraph)
+	cur := append(w.curEdges[:0], g.EdgeKeys()...)
+	adds, removes := graph.DiffSortedKeys(w.prevEdges, cur, w.addBuf[:0], w.remBuf[:0])
+	w.addBuf, w.remBuf = adds, removes
+	d := w.advance(adds, removes, wakeNow, false)
+	w.prevEdges, w.curEdges = cur, w.prevEdges
+	return d
+}
+
+// ObserveEdgeDelta advances the window by a sorted topology diff instead
+// of a full graph: adds and removes must be strictly ascending edge-key
+// lists describing exactly the edges entering and leaving the round graph
+// relative to the previous round (for the first observation, adds is the
+// entire round-1 edge set). This is the delta feed of the topology plane:
+// per-round cost is O(|adds| + |removes| + |wakeNow|) — independent of
+// |E_r| — and the emitted Delta is bit-identical to what the scan feed
+// produces for the same round sequence. Added edges must only touch awake
+// nodes (after wakeNow is applied); violations panic as in Observe.
+func (w *Window) ObserveEdgeDelta(adds, removes []graph.EdgeKey, wakeNow []graph.NodeID) *Delta {
+	w.setMode(feedDelta)
+	return w.advance(adds, removes, wakeNow, true)
+}
+
+// advance is the shared delta core. checkSorted additionally validates
+// the ordering of caller-supplied diffs (the scan feed's merge emits
+// sorted lists by construction).
+func (w *Window) advance(adds, removes []graph.EdgeKey, wakeNow []graph.NodeID, checkSorted bool) *Delta {
 	w.round++
 	r := w.round
 	d := &w.delta
@@ -167,67 +255,68 @@ func (w *Window) ObserveDelta(g *graph.Graph, wakeNow []graph.NodeID) *Delta {
 		}
 	}
 
-	r0 := w.windowStart()
-	// The union window of round r-1 was [max(1, r-t), r-1]: an edge whose
-	// lastSeen is below prevUnionLow was not in E^∪T_{r-1}.
-	prevUnionLow := r - w.t
-	if prevUnionLow < 1 {
-		prevUnionLow = 1
-	}
-
-	cur := w.curEdges[:0]
-	g.EachEdge(func(u, v graph.NodeID) {
+	// Edges entering G_r: fresh streak, union membership (spans holds
+	// exactly E^∪T, so presence in the map is the membership test), and a
+	// scheduled intersection arrival t-1 rounds out. Edges that persist
+	// from G_{r-1} are never touched — that is the whole point.
+	pend := w.pending[(r+w.t-1)%w.t]
+	for i, k := range adds {
+		if checkSorted && i > 0 && adds[i-1] >= k {
+			panicUnsorted("adds")
+		}
+		u, v := k.Nodes()
+		if u < 0 || u >= v || int(v) >= w.n {
+			panic(fmt.Sprintf("dyngraph: edge key %s outside universe [0,%d)", k, w.n))
+		}
 		if w.wake[u] == 0 || w.wake[v] == 0 {
-			panic(fmt.Sprintf("dyngraph: edge {%d,%d} touches a sleeping node in round %d", u, v, r))
+			panicSleepingEdge(u, v, r)
 		}
-		k := graph.MakeEdgeKey(u, v)
-		cur = append(cur, k)
 		sp, ok := w.spans[k]
-		if !ok || sp.lastSeen != r-1 {
-			sp.streakStart = r
+		if ok && sp.present {
+			panic(fmt.Sprintf("dyngraph: add of already-present edge %s in round %d", k, r))
 		}
-		if !ok || sp.lastSeen < prevUnionLow {
+		if !ok {
 			d.UnionAdded = append(d.UnionAdded, k)
 		}
-		if r >= w.t && sp.streakStart <= r0 && !sp.inInter {
-			sp.inInter = true
-			d.InterAdded = append(d.InterAdded, k)
-		}
-		sp.lastSeen = r
+		sp.present = true
+		sp.streakStart = r
 		w.spans[k] = sp
-	})
+		pend = append(pend, k)
+	}
+	w.pending[(r+w.t-1)%w.t] = pend
 
-	// Edges of G_{r-1} missing from G_r: their presence streak ended in
-	// round r-1, which breaks intersection membership now and schedules
-	// union expiry for round r-1+t. Both lists are sorted, so a two-pointer
-	// merge finds the difference without allocation.
+	// Edges leaving G_r: the streak ended in round r-1, which breaks
+	// intersection membership now and schedules union expiry for round
+	// r-1+t.
 	push := w.expiry[(r-1)%w.t]
-	j := 0
-	for _, k := range w.prevEdges {
-		for j < len(cur) && cur[j] < k {
-			j++
+	for i, k := range removes {
+		if checkSorted && i > 0 && removes[i-1] >= k {
+			panicUnsorted("removes")
 		}
-		if j < len(cur) && cur[j] == k {
-			continue
+		sp, ok := w.spans[k]
+		if !ok || !sp.present {
+			panic(fmt.Sprintf("dyngraph: remove of absent edge %s in round %d", k, r))
 		}
-		if sp := w.spans[k]; sp.inInter {
+		sp.present = false
+		sp.lastSeen = r - 1
+		if sp.inInter {
 			sp.inInter = false
-			w.spans[k] = sp
 			d.InterRemoved = append(d.InterRemoved, k)
 		}
+		w.spans[k] = sp
 		push = append(push, k)
 	}
 	w.expiry[(r-1)%w.t] = push
 
 	// Union expiry: edges whose last streak ended in round r-t leave E^∪T
-	// now. Entries whose edge was re-observed since are stale (the live
-	// entry sits in a younger slot) and are skipped by the lastSeen check.
-	// An edge re-observed in round r itself was updated above, so it fails
-	// the check too — the scan order matters.
+	// now. Entries whose edge was re-observed since are stale (present, or
+	// a younger expiry entry exists) and are skipped by the checks. Each
+	// slot holds exactly one round's removals, so the emitted list is
+	// sorted.
 	slot := w.expiry[r%w.t]
 	if len(slot) > 0 {
 		for _, k := range slot {
-			if sp, ok := w.spans[k]; ok && sp.lastSeen == r-w.t {
+			if sp, ok := w.spans[k]; ok && !sp.present && sp.lastSeen == r-w.t {
 				delete(w.spans, k)
 				d.UnionRemoved = append(d.UnionRemoved, k)
 			}
@@ -235,19 +324,48 @@ func (w *Window) ObserveDelta(g *graph.Graph, wakeNow []graph.NodeID) *Delta {
 		w.expiry[r%w.t] = slot[:0]
 	}
 
+	// Intersection arrivals: edges whose streak started in round r-t+1
+	// have now been present in every round the window spans (including
+	// the paper's empty round 0 constraint: a streak from round a enters
+	// at a+t-1 >= t). Stale entries — streak broken or restarted since —
+	// fail the streakStart check. One round's additions per slot, so the
+	// emitted list is sorted.
+	pslot := w.pending[r%w.t]
+	if len(pslot) > 0 {
+		a0 := r - w.t + 1
+		for _, k := range pslot {
+			if sp, ok := w.spans[k]; ok && sp.present && sp.streakStart == a0 && !sp.inInter {
+				sp.inInter = true
+				w.spans[k] = sp
+				d.InterAdded = append(d.InterAdded, k)
+			}
+		}
+		w.pending[r%w.t] = pslot[:0]
+	}
+
 	// Core arrivals: nodes woken in round r0 have now been awake for t
 	// rounds. r0 advances by exactly one per round once r >= t, so every
 	// wake bucket is consumed exactly once.
 	if r >= w.t {
+		r0 := w.windowStart()
 		if nodes := w.byWake[r0]; len(nodes) > 0 {
 			slices.Sort(nodes)
 			d.CoreEntered = append(d.CoreEntered, nodes...)
 			delete(w.byWake, r0)
 		}
 	}
-
-	w.prevEdges, w.curEdges = cur, w.prevEdges
 	return d
+}
+
+// panicSleepingEdge is the cold path for model violations, hoisted out of
+// the add loop so the hot path carries no fmt machinery.
+func panicSleepingEdge(u, v graph.NodeID, r int) {
+	panic(fmt.Sprintf("dyngraph: edge {%d,%d} touches a sleeping node in round %d", u, v, r))
+}
+
+// panicUnsorted is the cold path for unordered caller-supplied diffs.
+func panicUnsorted(which string) {
+	panic("dyngraph: ObserveEdgeDelta " + which + " not strictly ascending")
 }
 
 // AwakeSince reports the round node v woke up, or 0 if asleep.

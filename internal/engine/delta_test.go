@@ -6,15 +6,18 @@ import (
 
 	"dynlocal/internal/adversary"
 	"dynlocal/internal/graph"
+	"dynlocal/internal/prf"
 	"dynlocal/internal/problems"
 )
 
-// The round-delta plane contract (RoundInfo.Changed): after every Step,
-// Changed lists exactly the nodes whose output differs from the previous
-// round's snapshot, in ascending order without duplicates, for every
-// worker count. These tests pin it against a brute-force diff of copied
-// snapshots across the serial and sharded paths, under full wake-up,
-// staggered wake-up and churn.
+// The round-delta plane contract: after every Step, Changed lists exactly
+// the nodes whose output differs from the previous round's snapshot, and
+// EdgeAdds/EdgeRemoves exactly the edge diff of Graph against the
+// previous round's graph — all sorted ascending without duplicates, for
+// every worker count. These tests pin both planes against brute-force
+// diffs of copied snapshots/edge lists across the serial and sharded
+// paths, under full wake-up, staggered wake-up and churn, over
+// delta-native and materializing adversaries.
 
 func bruteDiff(prev, cur []problems.Value) []graph.NodeID {
 	var d []graph.NodeID
@@ -72,6 +75,94 @@ func TestChangedFeedMatchesBruteDiff(t *testing.T) {
 					copy(prev, info.Outputs)
 				})
 				e.Run(16)
+			})
+		}
+	}
+}
+
+// TestTopologyDeltaFeedMatchesBruteDiff pins the topology side of the
+// round-delta plane: RoundInfo.EdgeAdds/EdgeRemoves must be exactly the
+// sorted edge diff of consecutive round graphs, and the graph itself —
+// patched for delta-native adversaries, adopted for materializing ones —
+// must equal the fold of the diffs. Covers the patcher path (churn,
+// edge-markov, local-static, scripted), the synthesis path (wakeup
+// wrapper, static) and the mixed path (conflict injector switching from
+// pass-through to materialized mid-run).
+func TestTopologyDeltaFeedMatchesBruteDiff(t *testing.T) {
+	const n = 96
+	base := func(seed uint64) *graph.Graph {
+		return graph.GNP(n, 6.0/float64(n), prf.NewStream(seed, 0, 0, prf.PurposeWorkload))
+	}
+	advs := map[string]func() adversary.Adversary{
+		"churn": func() adversary.Adversary {
+			return &adversary.Churn{Base: base(1), Add: 5, Del: 5, Seed: 2}
+		},
+		"edge-markov": func() adversary.Adversary {
+			return &adversary.EdgeMarkov{Footprint: base(2), POn: 0.3, POff: 0.3, Seed: 3}
+		},
+		"local-static": func() adversary.Adversary {
+			b := base(3)
+			return &adversary.LocalStatic{
+				Inner:     &adversary.Churn{Base: b, Add: 6, Del: 6, Seed: 4},
+				Base:      b,
+				Protected: []graph.NodeID{7, n / 2},
+				Alpha:     2,
+			}
+		},
+		"staggered-churn": func() adversary.Adversary {
+			return &adversary.Wakeup{
+				Inner:    &adversary.Churn{Base: base(4), Add: 5, Del: 5, Seed: 5},
+				Schedule: adversary.StaggeredSchedule(n, n/6+1),
+			}
+		},
+		"static": func() adversary.Adversary {
+			return adversary.Static{G: base(5)}
+		},
+		"conflict-injector": func() adversary.Adversary {
+			return &adversary.ConflictInjector{
+				Inner:    &adversary.Churn{Base: base(6), Add: 4, Del: 4, Seed: 7},
+				Rate:     3,
+				MinRound: 5,
+				Seed:     8,
+			}
+		},
+	}
+	for name, mk := range advs {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(t *testing.T) {
+				e := New(Config{N: n, Seed: 42, Workers: workers}, mk(), degreeAlgo{})
+				present := make(map[graph.EdgeKey]bool)
+				var prevG *graph.Graph = graph.Empty(n)
+				e.OnRound(func(info *RoundInfo) {
+					wantAdds, wantRems := graph.DiffSortedKeys(
+						prevG.EdgeKeys(), info.Graph.EdgeKeys(), nil, nil)
+					if fmt.Sprint(wantAdds) != fmt.Sprint(info.EdgeAdds) {
+						t.Fatalf("round %d adds: got %v want %v", info.Round, info.EdgeAdds, wantAdds)
+					}
+					if fmt.Sprint(wantRems) != fmt.Sprint(info.EdgeRemoves) {
+						t.Fatalf("round %d removes: got %v want %v", info.Round, info.EdgeRemoves, wantRems)
+					}
+					for _, k := range info.EdgeAdds {
+						if present[k] {
+							t.Fatalf("round %d: add of present edge %v", info.Round, k)
+						}
+						present[k] = true
+					}
+					for _, k := range info.EdgeRemoves {
+						if !present[k] {
+							t.Fatalf("round %d: remove of absent edge %v", info.Round, k)
+						}
+						delete(present, k)
+					}
+					if len(present) != info.Graph.M() {
+						t.Fatalf("round %d: folded %d edges, graph has %d",
+							info.Round, len(present), info.Graph.M())
+					}
+					// prevG is read next round, within the pooled graph's
+					// two-round lifetime.
+					prevG = info.Graph
+				})
+				e.Run(20)
 			})
 		}
 	}

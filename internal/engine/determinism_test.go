@@ -18,11 +18,13 @@ import (
 // serial-threshold boundary, across worker counts, and under the churn and
 // local-static adversaries used by the experiments.
 
-// runTrace plays rounds and records every round's outputs, messages and
-// bits (outputs copied — the engine pools snapshot buffers).
+// runTrace plays rounds and records every round's outputs, deltas,
+// messages and bits (all copied — the engine pools its RoundInfo buffers).
 type roundTrace struct {
 	outputs  [][]problems.Value
 	changed  [][]graph.NodeID
+	adds     [][]graph.EdgeKey
+	removes  [][]graph.EdgeKey
 	messages []int
 	bits     []int64
 }
@@ -33,6 +35,8 @@ func collectTrace(n, workers, rounds int, mkAdv func() adversary.Adversary, algo
 	e.OnRound(func(info *RoundInfo) {
 		tr.outputs = append(tr.outputs, append([]problems.Value(nil), info.Outputs...))
 		tr.changed = append(tr.changed, append([]graph.NodeID(nil), info.Changed...))
+		tr.adds = append(tr.adds, append([]graph.EdgeKey(nil), info.EdgeAdds...))
+		tr.removes = append(tr.removes, append([]graph.EdgeKey(nil), info.EdgeRemoves...))
 		tr.messages = append(tr.messages, info.Messages)
 		tr.bits = append(tr.bits, info.Bits)
 	})
@@ -61,6 +65,19 @@ func diffTraces(t *testing.T, label string, a, b roundTrace) {
 		for i := range a.changed[r] {
 			if a.changed[r][i] != b.changed[r][i] {
 				t.Fatalf("%s: round %d changed %v vs %v", label, r+1, a.changed[r], b.changed[r])
+			}
+		}
+		if len(a.adds[r]) != len(b.adds[r]) || len(a.removes[r]) != len(b.removes[r]) {
+			t.Fatalf("%s: round %d topology delta sizes diverge", label, r+1)
+		}
+		for i := range a.adds[r] {
+			if a.adds[r][i] != b.adds[r][i] {
+				t.Fatalf("%s: round %d adds %v vs %v", label, r+1, a.adds[r], b.adds[r])
+			}
+		}
+		for i := range a.removes[r] {
+			if a.removes[r][i] != b.removes[r][i] {
+				t.Fatalf("%s: round %d removes %v vs %v", label, r+1, a.removes[r], b.removes[r])
 			}
 		}
 	}

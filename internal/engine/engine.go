@@ -31,27 +31,37 @@
 //
 // # Round-delta plane
 //
-// Besides the full output snapshot, every round exposes
-// RoundInfo.Changed — the sorted list of nodes whose output differs from
+// Both sides of a round are exposed as deltas. On the output side,
+// RoundInfo.Changed is the sorted list of nodes whose output differs from
 // the previous round, folded from the per-worker shards at the phase-2
-// barrier. Observers that maintain per-round state (the checkers in
-// internal/verify, violation trackers in internal/problems) consume it
-// to do O(|changed|) work per round instead of rescanning all n outputs;
-// it pairs with the edge deltas that internal/dyngraph emits for the
-// topology side.
+// barrier. On the topology side, RoundInfo.EdgeAdds/EdgeRemoves are the
+// sorted edge diff of Graph against the previous round: taken verbatim
+// from delta-native adversaries (whose Step carries the diff instead of a
+// graph — the engine then maintains its current graph through a pooled
+// CSR patcher, one block-copy merge per round instead of a full rebuild),
+// or synthesized by a linear edge-key merge for adversaries that
+// materialize. Observers that maintain per-round state (the checkers in
+// internal/verify, violation trackers in internal/problems, the sliding
+// windows in internal/dyngraph) consume both feeds to do
+// O(|changed| + |diff|) work per round instead of rescanning all n
+// outputs or all |E_r| edges. The model invariant that edges only touch
+// awake nodes is asserted on the delta too: each added edge is checked as
+// it enters — O(|adds|) per round, with persisting edges covered by
+// induction since wake-ups are monotone.
 //
 // # Buffer ownership
 //
 // The engine pools aggressively; observers own nothing they are handed:
 // RoundInfo.Outputs is a snapshot ring slot reused OutputLag+1 rounds
-// later, and RoundInfo.Changed is reused on the next Step — copy either
-// to retain it. RoundInfo.Graph is immutable and safe to keep. Inside
-// algorithm callbacks, Broadcast's buf and Process's inbox are likewise
+// later; RoundInfo.Changed, EdgeAdds and EdgeRemoves are reused on the
+// next Step — copy any of them to retain. RoundInfo.Graph is immutable,
+// but under a delta-native adversary it aliases a patcher arena that is
+// recycled two Steps later: it may be read freely during its round and
+// the next, and must be Cloned to be retained longer. Inside algorithm
+// callbacks, Broadcast's buf and Process's inbox are likewise
 // engine-owned scratch, valid only for the duration of the call.
 //
-// The per-round graphs come from an adversary (internal/adversary); the
-// wake sets obey the model invariant that edges only ever touch awake
-// nodes, which the engine asserts every round.
+// The per-round topologies come from an adversary (internal/adversary).
 package engine
 
 import (
@@ -155,14 +165,23 @@ type RoundInfo struct {
 	// nodes whose Outputs entry differs from the previous round's snapshot
 	// (round 1 diffs against the all-⊥ initial state). It is folded from
 	// the per-worker shards at the phase barrier, so its contents are
-	// bit-identical for every worker count. This is the engine side of the
+	// bit-identical for every worker count. This is the output side of the
 	// round-delta plane: checkers consume it to update violation state in
 	// O(|Changed|) instead of re-scanning all n outputs (see
 	// verify.(*TDynamic).ObserveChanged). The slice is pooled and reused on
 	// the next Step — copy to retain. Do not modify.
-	Changed  []graph.NodeID
-	Messages int   // sub-messages delivered
-	Bits     int64 // declared encoded bits (0 if no BitSizer)
+	Changed []graph.NodeID
+	// EdgeAdds and EdgeRemoves are the topology side of the round-delta
+	// plane: the sorted edge diff of Graph against the previous round's
+	// graph (round 1 diffs against the empty G_0) — emitted natively by
+	// delta adversaries, synthesized by edge-list merge otherwise.
+	// Checkers pair them with Changed via
+	// verify.(*TDynamic).ObserveDeltas, making a verified round cost
+	// O(changes) instead of O(|E_r|). Both slices are pooled and reused
+	// on the next Step — copy to retain. Do not modify.
+	EdgeAdds, EdgeRemoves []graph.EdgeKey
+	Messages              int   // sub-messages delivered
+	Bits                  int64 // declared encoded bits (0 if no BitSizer)
 }
 
 // Engine drives one simulation.
@@ -174,6 +193,7 @@ type Engine struct {
 
 	round    int
 	curGraph *graph.Graph
+	resolver *adversary.Resolver // folds delta steps, synthesizes legacy diffs
 	states   []NodeProc
 	awake    []bool
 	wakeRnd  []int
@@ -215,6 +235,7 @@ func New(cfg Config, adv adversary.Adversary, algo Algorithm) *Engine {
 		algo:     algo,
 		round:    0,
 		curGraph: graph.Empty(cfg.N),
+		resolver: adversary.NewResolver(cfg.N),
 		states:   make([]NodeProc, cfg.N),
 		awake:    make([]bool, cfg.N),
 		wakeRnd:  make([]int, cfg.N),
@@ -266,15 +287,18 @@ func (v view) DelayedOutputs() []problems.Value {
 	return v.e.snaps[seen%len(v.e.snaps)]
 }
 
-// Step plays one round and returns its info. The returned info's graph is
-// immutable and safe to retain; its Outputs buffer is pooled and reused
-// OutputLag+1 rounds later (copy to retain, see RoundInfo).
+// Step plays one round and returns its info. The returned info's buffers
+// are pooled — see RoundInfo for what may be retained and for how long.
 func (e *Engine) Step() *RoundInfo {
 	r := e.round + 1
 	st := e.adv.Step(view{e: e, r: r})
-	if st.G == nil || st.G.N() != e.cfg.N {
+	if st.G != nil && st.G.N() != e.cfg.N {
 		panic("engine: adversary returned graph with wrong node space")
 	}
+	// Materialize the round topology and its diff: delta steps fold into
+	// the pooled patcher (no counting rebuild), materialized steps have
+	// their diff synthesized by one linear merge.
+	g, adds, removes := e.resolver.Resolve(&st)
 
 	// Wake phase.
 	for _, v := range st.Wake {
@@ -291,17 +315,16 @@ func (e *Engine) Step() *RoundInfo {
 		}
 		e.states[v].Start(&ctx, input)
 	}
-	// Model invariant: edges only between awake nodes. A sleeping node
-	// with nonzero degree is exactly an offending edge, so the scan is
-	// O(n) over the CSR offsets instead of O(m) over the edges.
-	for v := 0; v < e.cfg.N; v++ {
-		if !e.awake[v] && st.G.Degree(graph.NodeID(v)) > 0 {
-			u := st.G.Neighbors(graph.NodeID(v))[0]
-			panic(fmt.Sprintf("engine: round %d edge {%d,%d} touches sleeping node", r, v, u))
+	// Model invariant: edges only between awake nodes. Edges enter the
+	// topology only through the diff and wake-ups are monotone, so
+	// checking each added edge — O(|adds|), not O(n) — covers every edge
+	// by induction over rounds.
+	for _, k := range adds {
+		u, v := k.Nodes()
+		if !e.awake[u] || !e.awake[v] {
+			panicSleepingEdge(r, u, v, e.awake[u])
 		}
 	}
-
-	g := st.G
 
 	// Phase 1: broadcast.
 	e.parallelNodes(g, func(ctx *Ctx, _ int, v graph.NodeID) (int, int64) {
@@ -391,12 +414,24 @@ func (e *Engine) Step() *RoundInfo {
 
 	info := &RoundInfo{
 		Round: r, Graph: g, Wake: st.Wake, Outputs: snap, Changed: changed,
+		EdgeAdds: adds, EdgeRemoves: removes,
 		Messages: totalMsgs, Bits: totalBits,
 	}
 	for _, fn := range e.observers {
 		fn(info)
 	}
 	return info
+}
+
+// panicSleepingEdge is the cold path for model violations, kept out of
+// the O(|adds|) validation loop.
+func panicSleepingEdge(r int, u, v graph.NodeID, uAwake bool) {
+	s := u
+	if uAwake {
+		s = v
+	}
+	o := u + v - s
+	panic(fmt.Sprintf("engine: round %d edge {%d,%d} touches sleeping node", r, s, o))
 }
 
 // Run plays the given number of rounds and returns the last round's info

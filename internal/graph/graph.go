@@ -16,6 +16,15 @@
 // a graph is two O(m) counting passes over a sorted edge-key list, and the
 // offsets array doubles as the exact cumulative-degree prefix sum the
 // engine uses for edge-balanced work partitioning.
+//
+// Every graph additionally carries its sorted edge-key list, exposed
+// zero-copy as EdgeKeys: diffing two rounds' topologies is one linear
+// merge (DiffSortedKeys), and Patcher maintains a current graph under
+// such sorted add/remove diffs through two ping-ponged arenas — one
+// block-copy merge per round instead of a counting rebuild — which is
+// what makes the simulator's delta-native topology plane (adversary →
+// engine → window → checker, see internal/engine) cost O(changes) per
+// round rather than O(n+m).
 package graph
 
 import (
@@ -59,12 +68,16 @@ func (k EdgeKey) String() string {
 
 // Graph is an immutable simple undirected graph in CSR layout over the
 // node-id space [0, N()): offsets has length N()+1 and the sorted
-// adjacency list of v is neighbors[offsets[v]:offsets[v+1]].
+// adjacency list of v is neighbors[offsets[v]:offsets[v+1]]. Alongside the
+// CSR arrays every graph carries its sorted edge-key list, so diffing two
+// graphs (DiffSortedKeys) and re-reading the edge set (EdgeKeys) are
+// zero-copy linear operations.
 type Graph struct {
 	n         int
 	m         int
 	offsets   []int32
 	neighbors []NodeID
+	keys      []EdgeKey // sorted; same edge set as the CSR arrays
 }
 
 // Empty returns the edgeless graph on n node slots.
@@ -86,25 +99,28 @@ func FromEdges(n int, edges []EdgeKey) *Graph {
 }
 
 // FromSortedEdges builds a graph from a strictly ascending edge-key list
-// without copying or sorting — the fast path for generators and windows
-// that produce keys in canonical order. It panics if the list is not
-// strictly ascending or an endpoint is out of range.
+// without sorting — the fast path for generators and windows that produce
+// keys in canonical order. The input is copied (callers routinely reuse
+// their key scratch across rounds; the graph must own its edge list for
+// EdgeKeys to stay valid). It panics if the list is not strictly ascending
+// or an endpoint is out of range.
 func FromSortedEdges(n int, edges []EdgeKey) *Graph {
 	for i := 1; i < len(edges); i++ {
 		if edges[i-1] >= edges[i] {
 			panic(fmt.Sprintf("graph: FromSortedEdges keys not strictly ascending at %d", i))
 		}
 	}
-	return fromSortedKeys(n, edges)
+	return fromSortedKeys(n, slices.Clone(edges))
 }
 
 // fromSortedKeys assembles the CSR arrays from a sorted, deduplicated key
-// list in two counting passes. Because keys are sorted lexicographically by
-// (u, v), filling each row's smaller neighbors first (pass A: row v gains
-// u < v) and larger neighbors second (pass B: row u gains v > u) yields
-// fully sorted rows with no per-row sort.
+// list in two counting passes, taking ownership of the key slice. Because
+// keys are sorted lexicographically by (u, v), filling each row's smaller
+// neighbors first (pass A: row v gains u < v) and larger neighbors second
+// (pass B: row u gains v > u) yields fully sorted rows with no per-row
+// sort.
 func fromSortedKeys(n int, keys []EdgeKey) *Graph {
-	g := &Graph{n: n, m: len(keys), offsets: make([]int32, n+1)}
+	g := &Graph{n: n, m: len(keys), offsets: make([]int32, n+1), keys: keys}
 	for _, k := range keys {
 		u, v := k.Nodes()
 		if u < 0 || int(v) >= n {
@@ -180,7 +196,15 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 	return i < len(a) && a[i] == target
 }
 
-// Edges returns all edges in canonical (sorted) key order.
+// EdgeKeys returns the graph's edge set as a strictly ascending edge-key
+// slice without copying. The slice aliases graph-owned storage and must
+// not be modified; for pooled graphs produced by a Patcher it shares the
+// arena's lifetime (see Patcher). Diffing the edge sets of two graphs is a
+// linear merge of their EdgeKeys views (DiffSortedKeys).
+func (g *Graph) EdgeKeys() []EdgeKey { return g.keys }
+
+// Edges returns all edges in canonical (sorted) key order, as a fresh
+// slice the caller owns.
 func (g *Graph) Edges() []EdgeKey {
 	out := make([]EdgeKey, 0, g.m)
 	return g.AppendEdges(out)
@@ -189,45 +213,33 @@ func (g *Graph) Edges() []EdgeKey {
 // AppendEdges appends all edges in canonical key order to dst and returns
 // it, letting round-loop callers reuse one buffer.
 func (g *Graph) AppendEdges(dst []EdgeKey) []EdgeKey {
-	for u := 0; u < g.n; u++ {
-		row := g.Neighbors(NodeID(u))
-		// Skip the smaller neighbors: rows are sorted, so the v > u
-		// suffix starts at the first index with row[i] > u.
-		i := sort.Search(len(row), func(i int) bool { return row[i] > NodeID(u) })
-		for _, v := range row[i:] {
-			dst = append(dst, MakeEdgeKey(NodeID(u), v))
-		}
-	}
-	return dst
+	return append(dst, g.keys...)
 }
 
 // EachEdge calls fn for every edge with u < v, in canonical order.
 func (g *Graph) EachEdge(fn func(u, v NodeID)) {
-	for u := 0; u < g.n; u++ {
-		row := g.Neighbors(NodeID(u))
-		i := sort.Search(len(row), func(i int) bool { return row[i] > NodeID(u) })
-		for _, v := range row[i:] {
-			fn(NodeID(u), v)
-		}
+	for _, k := range g.keys {
+		u, v := k.Nodes()
+		fn(u, v)
 	}
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g, owning all of its storage — the escape
+// hatch for retaining a pooled Patcher graph beyond its arena lifetime.
 func (g *Graph) Clone() *Graph {
 	return &Graph{
 		n:         g.n,
 		m:         g.m,
 		offsets:   slices.Clone(g.offsets),
 		neighbors: slices.Clone(g.neighbors),
+		keys:      slices.Clone(g.keys),
 	}
 }
 
 // Equal reports whether g and h have identical node spaces and edge sets.
-// CSR arrays are canonical, so equality is two slice comparisons.
+// The sorted key list is canonical, so equality is one slice comparison.
 func (g *Graph) Equal(h *Graph) bool {
-	return g.n == h.n && g.m == h.m &&
-		slices.Equal(g.offsets, h.offsets) &&
-		slices.Equal(g.neighbors, h.neighbors)
+	return g.n == h.n && g.m == h.m && slices.Equal(g.keys, h.keys)
 }
 
 // String renders a compact description, e.g. "G(n=5, m=4)".

@@ -1,0 +1,258 @@
+package graph
+
+import (
+	"testing"
+
+	"dynlocal/internal/prf"
+)
+
+// togglePlan drives a deterministic random add/remove schedule over a
+// node universe, tracking the exact edge set so every round's delta and
+// expected graph are known.
+type togglePlan struct {
+	n       int
+	present map[EdgeKey]bool
+	keys    []EdgeKey
+	s       *prf.Stream
+}
+
+func newTogglePlan(n int, seed uint64) *togglePlan {
+	return &togglePlan{n: n, present: make(map[EdgeKey]bool), s: prf.NewStream(seed, 0, 0, prf.PurposeWorkload)}
+}
+
+// round toggles c random pairs and returns the sorted (adds, removes) and
+// the full sorted edge list after the toggle.
+func (p *togglePlan) round(c int) (adds, removes, all []EdgeKey) {
+	seen := make(map[EdgeKey]bool)
+	for i := 0; i < c; i++ {
+		u := NodeID(p.s.Intn(p.n))
+		v := NodeID(p.s.Intn(p.n))
+		if u == v {
+			continue
+		}
+		k := MakeEdgeKey(u, v)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if p.present[k] {
+			delete(p.present, k)
+			removes = append(removes, k)
+		} else {
+			p.present[k] = true
+			adds = append(adds, k)
+		}
+	}
+	sortKeys(adds)
+	sortKeys(removes)
+	p.keys = p.keys[:0]
+	for k := range p.present {
+		p.keys = append(p.keys, k)
+	}
+	sortKeys(p.keys)
+	return adds, removes, p.keys
+}
+
+func sortKeys(ks []EdgeKey) {
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && ks[j] < ks[j-1]; j-- {
+			ks[j], ks[j-1] = ks[j-1], ks[j]
+		}
+	}
+}
+
+// TestPatcherMatchesRebuild patches through a long toggle schedule and
+// compares every round against the FromSortedEdges rebuild, including the
+// CSR arrays (via Neighbors) and the EdgeKeys view.
+func TestPatcherMatchesRebuild(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 33, 200} {
+		plan := newTogglePlan(n, uint64(300+n))
+		p := NewPatcher(n)
+		if !p.Current().Equal(Empty(n)) {
+			t.Fatalf("n=%d: fresh patcher not empty", n)
+		}
+		for round := 1; round <= 60; round++ {
+			adds, removes, all := plan.round(1 + round%7)
+			got := p.Apply(adds, removes)
+			want := FromSortedEdges(n, all)
+			if !got.Equal(want) {
+				t.Fatalf("n=%d round %d: patched graph diverged\ngot  %s\nwant %s",
+					n, round, got.DebugString(), want.DebugString())
+			}
+			for v := 0; v < n; v++ {
+				gr, wr := got.Neighbors(NodeID(v)), want.Neighbors(NodeID(v))
+				if len(gr) != len(wr) {
+					t.Fatalf("n=%d round %d node %d: row %v want %v", n, round, v, gr, wr)
+				}
+				for i := range gr {
+					if gr[i] != wr[i] {
+						t.Fatalf("n=%d round %d node %d: row %v want %v", n, round, v, gr, wr)
+					}
+				}
+			}
+			ek := got.EdgeKeys()
+			if len(ek) != len(all) {
+				t.Fatalf("n=%d round %d: EdgeKeys len %d want %d", n, round, len(ek), len(all))
+			}
+			for i := range ek {
+				if ek[i] != all[i] {
+					t.Fatalf("n=%d round %d: EdgeKeys[%d] = %v want %v", n, round, i, ek[i], all[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPatcherArenaLifetime pins the double-buffer contract: the graph of
+// Apply k is still intact during Apply k+1 and its arena is recycled by
+// Apply k+2.
+func TestPatcherArenaLifetime(t *testing.T) {
+	const n = 64
+	plan := newTogglePlan(n, 7)
+	p := NewPatcher(n)
+	var prevGraph *Graph
+	var prevCopy *Graph
+	for round := 1; round <= 20; round++ {
+		adds, removes, _ := plan.round(5)
+		g := p.Apply(adds, removes)
+		if prevGraph != nil && !prevGraph.Equal(prevCopy) {
+			t.Fatalf("round %d: previous round's graph corrupted while still in lifetime", round)
+		}
+		prevGraph, prevCopy = g, g.Clone()
+	}
+}
+
+// TestPatcherNoChangeReturnsCurrent pins the empty-delta fast path.
+func TestPatcherNoChangeReturnsCurrent(t *testing.T) {
+	p := NewPatcher(8)
+	g1 := p.Apply([]EdgeKey{MakeEdgeKey(0, 1)}, nil)
+	if g2 := p.Apply(nil, nil); g2 != g1 {
+		t.Fatal("no-change Apply should return the same graph")
+	}
+}
+
+// TestPatcherReset adopts an external graph and patches from it.
+func TestPatcherReset(t *testing.T) {
+	base := GNP(40, 0.2, prf.NewStream(5, 0, 0, prf.PurposeWorkload))
+	p := NewPatcher(40)
+	p.Reset(base)
+	if p.Current() != base {
+		t.Fatal("Reset did not adopt the graph")
+	}
+	// Remove base's first edge, add a fresh one.
+	first := base.EdgeKeys()[0]
+	var add EdgeKey
+	for u := NodeID(0); add == 0; u++ {
+		for v := u + 1; int(v) < 40; v++ {
+			if !base.HasEdge(u, v) {
+				add = MakeEdgeKey(u, v)
+				break
+			}
+		}
+	}
+	g := p.Apply([]EdgeKey{add}, []EdgeKey{first})
+	if g.M() != base.M() || g.HasEdge(first.Nodes()) || !g.HasEdge(add.Nodes()) {
+		t.Fatalf("patched-from-reset graph wrong: %s", g)
+	}
+	if base.HasEdge(add.Nodes()) {
+		t.Fatal("Reset source graph was mutated")
+	}
+}
+
+// TestPatcherPanicsOnBadDeltas pins the validation contract.
+func TestPatcherPanicsOnBadDeltas(t *testing.T) {
+	mk := func() *Patcher {
+		p := NewPatcher(8)
+		p.Apply([]EdgeKey{MakeEdgeKey(0, 1), MakeEdgeKey(2, 3)}, nil)
+		return p
+	}
+	cases := []struct {
+		name string
+		run  func(p *Patcher)
+	}{
+		{"add-present", func(p *Patcher) { p.Apply([]EdgeKey{MakeEdgeKey(0, 1)}, nil) }},
+		{"remove-absent", func(p *Patcher) { p.Apply(nil, []EdgeKey{MakeEdgeKey(4, 5)}) }},
+		{"adds-unsorted", func(p *Patcher) {
+			p.Apply([]EdgeKey{MakeEdgeKey(4, 5), MakeEdgeKey(1, 2)}, nil)
+		}},
+		{"removes-unsorted", func(p *Patcher) {
+			p.Apply(nil, []EdgeKey{MakeEdgeKey(2, 3), MakeEdgeKey(0, 1)})
+		}},
+		{"out-of-range", func(p *Patcher) { p.Apply([]EdgeKey{MakeEdgeKey(1, 60)}, nil) }},
+		{"reset-wrong-n", func(p *Patcher) { p.Reset(Empty(9)) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.run(mk())
+		})
+	}
+}
+
+// TestDiffSortedKeys pins the linear-merge diff.
+func TestDiffSortedKeys(t *testing.T) {
+	plan := newTogglePlan(30, 11)
+	_, _, a := plan.round(40)
+	prev := append([]EdgeKey(nil), a...)
+	adds, removes, cur := plan.round(15)
+	gotAdds, gotRems := DiffSortedKeys(prev, cur, nil, nil)
+	if len(gotAdds) != len(adds) || len(gotRems) != len(removes) {
+		t.Fatalf("diff sizes: %d/%d want %d/%d", len(gotAdds), len(gotRems), len(adds), len(removes))
+	}
+	for i := range adds {
+		if gotAdds[i] != adds[i] {
+			t.Fatalf("adds[%d] = %v want %v", i, gotAdds[i], adds[i])
+		}
+	}
+	for i := range removes {
+		if gotRems[i] != removes[i] {
+			t.Fatalf("removes[%d] = %v want %v", i, gotRems[i], removes[i])
+		}
+	}
+	// Self-diff is empty; diff against nil is all-adds/all-removes.
+	if a2, r2 := DiffSortedKeys(cur, cur, nil, nil); len(a2) != 0 || len(r2) != 0 {
+		t.Fatal("self diff not empty")
+	}
+	if a3, _ := DiffSortedKeys(nil, cur, nil, nil); len(a3) != len(cur) {
+		t.Fatal("diff from empty should be all adds")
+	}
+}
+
+func BenchmarkPatcherApply(b *testing.B) {
+	const n = 65536
+	plan := newTogglePlan(n, 3)
+	_, _, all := plan.round(8 * n)
+	base := FromSortedEdges(n, all)
+	// Pre-generate a ping-pong delta cycle so the patcher sees steady
+	// small diffs.
+	const cycle = 8
+	type delta struct{ adds, removes []EdgeKey }
+	deltas := make([]delta, 0, 2*cycle)
+	for i := 0; i < cycle; i++ {
+		adds, removes, _ := plan.round(64)
+		deltas = append(deltas, delta{append([]EdgeKey(nil), adds...), append([]EdgeKey(nil), removes...)})
+	}
+	for i := cycle - 1; i >= 0; i-- {
+		deltas = append(deltas, delta{deltas[i].removes, deltas[i].adds})
+	}
+	b.Run("patch", func(b *testing.B) {
+		p := NewPatcher(n)
+		p.Reset(base)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d := deltas[i%len(deltas)]
+			p.Apply(d.adds, d.removes)
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		keys := base.Edges()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = FromSortedEdges(n, keys)
+		}
+	})
+}

@@ -16,14 +16,16 @@ import (
 // TestTDynamicEngineChangedFeedMatchesOracle closes the round-delta plane
 // end to end: a real engine run (combined algorithms, real wake-ups and
 // pooled buffers) feeds RoundInfo.Changed into the incremental checker
-// while the materializing oracle re-derives everything from the full
-// output snapshot, and the per-round TDynamicReports must be
-// bit-identical. Unlike TestTDynamicIncrementalMatchesOracle this
-// exercises the engine's own diff (per-worker fold, snapshot-ring
-// baseline, wake-round ⊥ handling) rather than a test-maintained one. n
-// is above the engine's serial threshold (512) and Workers is 4, so the
-// sharded phase path and the per-worker changed-shard fold really run —
-// and are raced in CI's -race job.
+// and the full RoundInfo delta plane — EdgeAdds/EdgeRemoves + Changed —
+// into the graph-free delta checker, while the materializing oracle
+// re-derives everything from the full output snapshot; the per-round
+// TDynamicReports must be bit-identical three ways. Unlike
+// TestTDynamicIncrementalMatchesOracle this exercises the engine's own
+// diffs (per-worker fold, snapshot-ring baseline, wake-round ⊥ handling,
+// patched/synthesized topology deltas over pooled graphs) rather than
+// test-maintained ones. n is above the engine's serial threshold (512)
+// and Workers is 4, so the sharded phase path and the per-worker
+// changed-shard fold really run — and are raced in CI's -race job.
 func TestTDynamicEngineChangedFeedMatchesOracle(t *testing.T) {
 	const n = 640
 	mkBase := func(seed uint64) *graph.Graph {
@@ -76,13 +78,19 @@ func TestTDynamicEngineChangedFeedMatchesOracle(t *testing.T) {
 				algo, T1 := ac.mk()
 				e := engine.New(engine.Config{N: n, Seed: seed + 99, Workers: 4}, sc.mk(seed), algo)
 				inc := NewTDynamic(ac.pc, T1, n)
+				dlt := NewTDynamic(ac.pc, T1, n)
 				orc := NewTDynamicOracle(ac.pc, T1, n)
 				e.OnRound(func(info *engine.RoundInfo) {
 					repInc := inc.ObserveChanged(info.Graph, info.Wake, info.Outputs, info.Changed)
+					repDlt := dlt.ObserveDeltas(info.EdgeAdds, info.EdgeRemoves, info.Wake, info.Outputs, info.Changed)
 					repOrc := orc.Observe(info.Graph, info.Wake, info.Outputs)
 					if !reflect.DeepEqual(repInc, repOrc) {
 						t.Fatalf("round %d: reports diverge\nengine-feed %+v\noracle      %+v",
 							info.Round, repInc, repOrc)
+					}
+					if !reflect.DeepEqual(repDlt, repOrc) {
+						t.Fatalf("round %d: reports diverge\ndelta-feed %+v\noracle     %+v",
+							info.Round, repDlt, repOrc)
 					}
 				})
 				// Enough rounds for the slowest wake schedule (n/8 staggered

@@ -10,24 +10,26 @@
 //     Theorem 1.1(2)): whenever the α-ball of a node has been static for
 //     `Wait` rounds, its output must not change.
 //
-// TDynamic is incremental end to end: it consumes the edge/core deltas
-// emitted by dyngraph.Window.ObserveDelta for the topology side and the
-// engine's changed-node feed (engine.RoundInfo.Changed, via
-// ObserveChanged) for the output side, and feeds both to the
-// problems.Tracker violation maintainers. A round's cost is one O(|E_r|)
-// window update plus O((deltas+changes)·Δ) tracker work — no per-round
-// CSR graph materialization, no full packing/covering rescans, and no
-// O(n) output-diff scan (Observe retains a self-diffing scan as the
-// fallback for callers without a delta feed). NewTDynamicOracle retains
-// the materializing CheckFull path; incremental, changed-feed and oracle
-// checkers are property-tested — including against a real engine run —
-// to produce bit-identical TDynamicReports, and the oracle doubles as
-// the benchmark baseline.
+// TDynamic is delta-driven end to end. Its fastest feed, ObserveDeltas,
+// consumes the engine's round-delta plane whole: the sorted topology
+// diff (engine.RoundInfo.EdgeAdds/EdgeRemoves) goes into a delta-fed
+// sliding window (dyngraph.Window.ObserveEdgeDelta) and the changed-node
+// feed (RoundInfo.Changed) into the problems.Tracker violation
+// maintainers, so a verified round costs O((diff+changes)·Δ) — nothing
+// scales with n or |E_r|, no CSR graph is ever materialized and no edge
+// or output scan runs. ObserveChanged is the graph-fed variant (the
+// window recovers the diff with one O(|E_r|) merge) and Observe
+// additionally self-computes the output diff with an O(n) scan — the
+// fallbacks for callers without one or both feeds. NewTDynamicOracle
+// retains the materializing CheckFull path; all feeds are
+// property-tested — including against a real engine run — to produce
+// bit-identical TDynamicReports, and the oracle doubles as the benchmark
+// baseline.
 //
-// Input-buffer rules follow the producers' pooling contracts: the graph
-// handed to Observe may be retained (graphs are immutable), but the
-// output snapshot and changed list are only read during the call, so the
-// engine's pooled RoundInfo buffers can be passed straight through.
+// Input-buffer rules follow the producers' pooling contracts: every
+// slice argument (graph, diff, wake, outputs, changed) is only read
+// during the call, so the engine's pooled RoundInfo buffers can be
+// passed straight through.
 //
 // The checkers are part of the library (not the tests) so that every data
 // point produced by the experiment harness (internal/experiments) is a
@@ -136,7 +138,30 @@ func (c *TDynamic) ObserveChanged(g *graph.Graph, wake []graph.NodeID, out []pro
 	if c.oracle {
 		return c.observeOracle(g, wake, out)
 	}
-	d := c.window.ObserveDelta(g, wake)
+	return c.applyRound(c.window.ObserveDelta(g, wake), out, changed)
+}
+
+// ObserveDeltas is the fully delta-fed checking path: the round's
+// topology arrives as the sorted edge diff against the previous round
+// (exactly engine.RoundInfo.EdgeAdds/EdgeRemoves) and the output diff as
+// the changed-node list, under the same tolerance as ObserveChanged. No
+// graph is needed — the sliding window is maintained from the diff alone
+// (dyngraph.Window.ObserveEdgeDelta) — so the round costs
+// O((|adds|+|removes|+|changed|)·Δ), independent of n and |E_r|. A
+// checker must stay on one topology feed for its lifetime: mixing
+// ObserveDeltas with Observe/ObserveChanged panics (the window's scan
+// feed state is not maintained by the delta feed). Not available on the
+// oracle checker, which needs full graphs.
+func (c *TDynamic) ObserveDeltas(adds, removes []graph.EdgeKey, wake []graph.NodeID, out []problems.Value, changed []graph.NodeID) TDynamicReport {
+	if c.oracle {
+		panic("verify: ObserveDeltas on the materializing oracle checker — use Observe")
+	}
+	return c.applyRound(c.window.ObserveEdgeDelta(adds, removes, wake), out, changed)
+}
+
+// applyRound folds one round's window delta and output diff into the
+// violation trackers and assembles the report.
+func (c *TDynamic) applyRound(d *dyngraph.Delta, out []problems.Value, changed []graph.NodeID) TDynamicReport {
 	for _, k := range d.InterAdded {
 		u, v := k.Nodes()
 		c.pt.EdgeAdded(u, v)

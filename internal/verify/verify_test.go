@@ -207,8 +207,10 @@ func TestTDynamicIncrementalMatchesOracle(t *testing.T) {
 			t.Run(sc.name+"/"+pcase.name, func(t *testing.T) {
 				seed := uint64(17 + ci)
 				adv := sc.mk(seed)
+				res := adversary.NewResolver(n)
 				inc := NewTDynamic(pcase.pc, T, n)
 				fed := NewTDynamic(pcase.pc, T, n)
+				dlt := NewTDynamic(pcase.pc, T, n)
 				orc := NewTDynamicOracle(pcase.pc, T, n)
 				view := &advView{n: n, prev: graph.Empty(n), awake: make([]bool, n)}
 				out := make([]problems.Value, n)
@@ -216,6 +218,7 @@ func TestTDynamicIncrementalMatchesOracle(t *testing.T) {
 				for r := 1; r <= rounds; r++ {
 					view.round = r
 					st := adv.Step(view)
+					g, adds, removes := res.Resolve(&st)
 					for _, v := range st.Wake {
 						view.awake[v] = true
 					}
@@ -230,9 +233,10 @@ func TestTDynamicIncrementalMatchesOracle(t *testing.T) {
 							changed = append(changed, graph.NodeID(v))
 						}
 					}
-					repInc := inc.Observe(st.G, st.Wake, out)
-					repFed := fed.ObserveChanged(st.G, st.Wake, out, changed)
-					repOrc := orc.Observe(st.G.Clone(), st.Wake, out)
+					repInc := inc.Observe(g, st.Wake, out)
+					repFed := fed.ObserveChanged(g, st.Wake, out, changed)
+					repDlt := dlt.ObserveDeltas(adds, removes, st.Wake, out, changed)
+					repOrc := orc.Observe(g.Clone(), st.Wake, out)
 					if !reflect.DeepEqual(repInc, repOrc) {
 						t.Fatalf("round %d: reports diverge\nincremental %+v\noracle      %+v",
 							r, repInc, repOrc)
@@ -241,10 +245,15 @@ func TestTDynamicIncrementalMatchesOracle(t *testing.T) {
 						t.Fatalf("round %d: reports diverge\nchanged-feed %+v\noracle       %+v",
 							r, repFed, repOrc)
 					}
-					view.prev = st.G
+					if !reflect.DeepEqual(repDlt, repOrc) {
+						t.Fatalf("round %d: reports diverge\ndelta-feed %+v\noracle     %+v",
+							r, repDlt, repOrc)
+					}
+					view.prev = g
 				}
 				ri, ii, pi, ci2, bi := inc.Totals()
 				rf, ifd, pf, cf, bf := fed.Totals()
+				rd, id, pd, cd, bd := dlt.Totals()
 				ro, io, po, co, bo := orc.Totals()
 				if ri != ro || ii != io || pi != po || ci2 != co || bi != bo {
 					t.Fatalf("totals diverge: incremental (%d %d %d %d %d) oracle (%d %d %d %d %d)",
@@ -253,6 +262,10 @@ func TestTDynamicIncrementalMatchesOracle(t *testing.T) {
 				if rf != ro || ifd != io || pf != po || cf != co || bf != bo {
 					t.Fatalf("totals diverge: changed-feed (%d %d %d %d %d) oracle (%d %d %d %d %d)",
 						rf, ifd, pf, cf, bf, ro, io, po, co, bo)
+				}
+				if rd != ro || id != io || pd != po || cd != co || bd != bo {
+					t.Fatalf("totals diverge: delta-feed (%d %d %d %d %d) oracle (%d %d %d %d %d)",
+						rd, id, pd, cd, bd, ro, io, po, co, bo)
 				}
 			})
 		}

@@ -27,10 +27,16 @@ trap 'rm -f "$TMP"' EXIT
 go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" \
 	-count "$COUNT" -timeout 60m . | tee "$TMP"
 
+# num_cpu/gomaxprocs make the scaling-matrix caveat machine-readable:
+# recordings from a 1-CPU box can be filtered out before comparing
+# >1-worker cells (see docs/benchmarking.md).
+NUM_CPU="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+EFFECTIVE_GOMAXPROCS="${GOMAXPROCS:-$NUM_CPU}"
+
 awk -v date="$(date -u +%FT%TZ)" -v goversion="$(go env GOVERSION)" \
-	-v host="$(uname -sm)" '
+	-v host="$(uname -sm)" -v ncpu="$NUM_CPU" -v gmp="$EFFECTIVE_GOMAXPROCS" '
 BEGIN {
-	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"host\": \"%s\",\n  \"benchmarks\": [", date, goversion, host
+	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"host\": \"%s\",\n  \"num_cpu\": %d,\n  \"gomaxprocs\": %d,\n  \"benchmarks\": [", date, goversion, host, ncpu, gmp
 	first = 1
 }
 /^Benchmark/ && NF >= 4 {
