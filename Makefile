@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt fmt-check vet docscheck check
+.PHONY: all build test race bench fmt fmt-check vet docscheck apicheck check
 
 all: check
 
@@ -35,4 +35,10 @@ vet:
 docscheck:
 	$(GO) run ./scripts/docscheck
 
-check: build fmt-check vet docscheck test
+# API gate: the exported surface of package dynlocal must match the
+# checked-in snapshot. After an intentional change:
+#   go run ./scripts/apicheck -update
+apicheck:
+	$(GO) run ./scripts/apicheck
+
+check: build fmt-check vet docscheck apicheck test

@@ -51,10 +51,18 @@ type (
 	// EngineConfig parameterizes a simulation.
 	EngineConfig = engine.Config
 	// RoundInfo is the observer view of a completed round. Its Outputs,
-	// Changed, EdgeAdds and EdgeRemoves slices are pooled (copy to
-	// retain); Changed plus EdgeAdds/EdgeRemoves form the engine's
-	// round-delta plane, consumed whole by TDynamicChecker.ObserveDeltas.
+	// Changed, EdgeAdds and EdgeRemoves slices are pooled (Retain deep-
+	// copies a round to hold it longer); Changed plus EdgeAdds/EdgeRemoves
+	// form the engine's round-delta plane, consolidated by Delta and
+	// consumed whole by TDynamicChecker.Feed.
 	RoundInfo = engine.RoundInfo
+	// RoundDelta is the consolidated round-delta view (RoundInfo.Delta),
+	// the argument of TDynamicChecker.Feed.
+	RoundDelta = engine.RoundDelta
+	// Quiescer is optionally implemented by algorithm node processes that
+	// reach a terminal silent state, letting the engine's sparse activity
+	// plane stop running them entirely.
+	Quiescer = engine.Quiescer
 	// Algorithm creates per-node processes for the engine.
 	Algorithm = engine.Algorithm
 	// Combined is a framework combination (Theorem 1.1) of a dynamic and
@@ -108,6 +116,11 @@ type (
 	// StabilityChecker verifies locally-static guarantees.
 	StabilityChecker = verify.Stability
 )
+
+// DefaultOutputLag is the adversary obliviousness lag selected when
+// EngineConfig.OutputLag is left zero — the 2-oblivious adversary that
+// DMis (Lemma 5.1) requires.
+const DefaultOutputLag = engine.DefaultOutputLag
 
 // MISProblem returns the MIS problem decomposition (M_P, M_C).
 func MISProblem() Problem { return problems.MIS() }
@@ -226,14 +239,13 @@ func UniformRandomSchedule(n, maxRound int, seed uint64) []int {
 }
 
 // NewTDynamicChecker verifies T-dynamic solutions round by round. Inside
-// an engine OnRound observer, feed it with ObserveDeltas(info.EdgeAdds,
-// info.EdgeRemoves, info.Wake, info.Outputs, info.Changed): the checker
-// then maintains violation state purely from the engine's round-delta
-// plane — no graph materialization, no O(|E_r|) edge scan and no O(n)
-// output scan, so a verified round costs O(changes). ObserveChanged
-// (graph-fed window) and Observe (additionally self-diffs the outputs)
-// remain as fallbacks for topologies or outputs produced outside the
-// engine.
+// an engine OnRound observer, feed it with Feed(info.Delta()): the
+// checker then maintains violation state purely from the engine's
+// round-delta plane — no graph materialization, no O(|E_r|) edge scan
+// and no O(n) output scan, so a verified round costs O(changes).
+// ObserveChanged (graph-fed window) and Observe (additionally self-diffs
+// the outputs) remain as fallbacks for topologies or outputs produced
+// outside the engine.
 func NewTDynamicChecker(p Problem, t, n int) *TDynamicChecker {
 	return verify.NewTDynamic(p, t, n)
 }

@@ -15,7 +15,7 @@ func TestQuickstartMIS(t *testing.T) {
 	check := NewTDynamicChecker(MISProblem(), algo.T1, n)
 	invalid := 0
 	eng.OnRound(func(info *RoundInfo) {
-		if rep := check.Observe(info.Graph, info.Wake, info.Outputs); !rep.Valid() {
+		if rep := check.Observe(info.Graph(), info.Wake, info.Outputs); !rep.Valid() {
 			invalid++
 		}
 	})
@@ -33,7 +33,7 @@ func TestQuickstartColoring(t *testing.T) {
 	check := NewTDynamicChecker(ColoringProblem(), algo.T1, n)
 	invalid := 0
 	eng.OnRound(func(info *RoundInfo) {
-		if rep := check.Observe(info.Graph, info.Wake, info.Outputs); !rep.Valid() {
+		if rep := check.Observe(info.Graph(), info.Wake, info.Outputs); !rep.Valid() {
 			invalid++
 		}
 	})

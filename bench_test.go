@@ -350,8 +350,8 @@ func benchViolations(b *testing.B, algo Algorithm, base *Graph, seed uint64) flo
 		if info.Round <= 30 {
 			return
 		}
-		viol += len(problems.MIS().P.CheckPartial(info.Graph, info.Outputs))
-		viol += len(problems.MIS().C.CheckPartial(info.Graph, info.Outputs))
+		viol += len(problems.MIS().P.CheckPartial(info.Graph(), info.Outputs))
+		viol += len(problems.MIS().C.CheckPartial(info.Graph(), info.Outputs))
 	})
 	e.Run(100)
 	return float64(viol)
@@ -721,6 +721,65 @@ func BenchmarkTopologyDelta(b *testing.B) {
 					w.ObserveEdgeDelta(r.adds, r.removes, nil)
 				}
 			})
+		}
+	}
+}
+
+// BenchmarkSparseRound measures full engine rounds in the paper's highly
+// dynamic P2P regime — active ≪ n — crossing universe size, active
+// fraction and churn rate, with the sparse activity plane (the default)
+// against the Config{Dense: true} reference walk. The workload is
+// standalone DMis (the one algorithm with a Quiescer: its Dominated
+// majority leaves the active set) over a churned G(k, 8/k) on the first
+// k = N/frac nodes of an N-node universe; sparse and dense produce
+// bit-identical outputs (pinned by TestSparseMatchesDense), so the
+// timings compare equal work. Steady state is reached before timing:
+// wake, convergence and quiescent drops all happen during warm-up.
+// Recorded as BENCH_*-sparse.json via
+// `BENCH=BenchmarkSparseRound LABEL=-sparse scripts/bench.sh`.
+func BenchmarkSparseRound(b *testing.B) {
+	for _, n := range []int{1 << 16, 1 << 20} {
+		for _, frac := range []int{1024, 64, 8} {
+			k := n / frac
+			if k < 512 {
+				// Fewer than 512 participants is not the sparse regime,
+				// it is a small graph; skip (affects N=65536/1of1024).
+				continue
+			}
+			// Churn is per-capita — a fraction of the participant count
+			// per round, the standard P2P session-churn framing — so the
+			// low/high cells mean the same thing at every k: ~0.8%/round
+			// of edges resampled vs ~6%/round.
+			for _, churn := range []struct {
+				name string
+				rate int
+			}{
+				{"low", k / 128},
+				{"high", k / 16},
+			} {
+				for _, mode := range []struct {
+					name  string
+					dense bool
+				}{
+					{"sparse", false},
+					{"dense", true},
+				} {
+					name := fmt.Sprintf("N=%d/active=1of%d/churn=%s/%s", n, frac, churn.name, mode.name)
+					b.Run(name, func(b *testing.B) {
+						base := GNP(k, 8.0/float64(k), uint64(n+k))
+						adv := NewChurn(base, churn.rate, churn.rate, uint64(k+churn.rate))
+						e := engine.New(engine.Config{N: n, Seed: 7, Dense: mode.dense}, adv, mis.NewDynamic(n))
+						for r := 0; r < 48; r++ {
+							e.Step()
+						}
+						b.ReportAllocs()
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							e.Step()
+						}
+					})
+				}
+			}
 		}
 	}
 }

@@ -131,7 +131,7 @@ func run(args []string, out io.Writer) (invalidRounds int, strict bool, err erro
 
 	table := stats.NewTable("round", "outputs", "core", "invalid?", "packViol", "coverViol", "msgs")
 	eng.OnRound(func(info *dynlocal.RoundInfo) {
-		rep := check.ObserveDeltas(info.EdgeAdds, info.EdgeRemoves, info.Wake, info.Outputs, info.Changed)
+		rep := check.Feed(info.Delta())
 		if !rep.Valid() {
 			invalidRounds++
 		}

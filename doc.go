@@ -45,7 +45,7 @@
 //	eng := dynlocal.NewEngine(dynlocal.EngineConfig{N: n, Seed: 42}, adv, algo)
 //	check := dynlocal.NewTDynamicChecker(dynlocal.MISProblem(), algo.T1, n)
 //	eng.OnRound(func(info *dynlocal.RoundInfo) {
-//		rep := check.ObserveDeltas(info.EdgeAdds, info.EdgeRemoves, info.Wake, info.Outputs, info.Changed)
+//		rep := check.Feed(info.Delta())
 //		if !rep.Valid() {
 //			log.Fatalf("round %d: guarantee violated", info.Round)
 //		}

@@ -47,7 +47,7 @@ func main() {
 	awake := 0
 	eng.OnRound(func(info *dynlocal.RoundInfo) {
 		awake += len(info.Wake)
-		rep := check.ObserveDeltas(info.EdgeAdds, info.EdgeRemoves, info.Wake, info.Outputs, info.Changed)
+		rep := check.Feed(info.Delta())
 		if !rep.Valid() {
 			invalid++
 		}

@@ -49,7 +49,7 @@ func main() {
 		prevHead := make([]bool, *n)
 		headSum := 0
 		eng.OnRound(func(info *dynlocal.RoundInfo) {
-			if rep := check.ObserveDeltas(info.EdgeAdds, info.EdgeRemoves, info.Wake, info.Outputs, info.Changed); !rep.Valid() {
+			if rep := check.Feed(info.Delta()); !rep.Valid() {
 				res.invalidRound++
 			}
 			heads := 0

@@ -118,7 +118,7 @@ func main() {
 	invalid := 0
 	var maxSlot dynlocal.Value
 	eng.OnRound(func(info *dynlocal.RoundInfo) {
-		rep := check.ObserveDeltas(info.EdgeAdds, info.EdgeRemoves, info.Wake, info.Outputs, info.Changed)
+		rep := check.Feed(info.Delta())
 		if !rep.Valid() {
 			invalid++
 		}
@@ -140,7 +140,7 @@ func main() {
 			if out > maxSlot {
 				maxSlot = out
 			}
-			for _, u := range info.Graph.Neighbors(dynlocal.NodeID(v)) {
+			for _, u := range info.Graph().Neighbors(dynlocal.NodeID(v)) {
 				if dynlocal.NodeID(v) < u && info.Outputs[u] == out {
 					if w.InIntersection(dynlocal.NodeID(v), u) {
 						stale++

@@ -39,7 +39,7 @@ func main() {
 
 	invalid := 0
 	eng.OnRound(func(info *dynlocal.RoundInfo) {
-		rep := check.ObserveDeltas(info.EdgeAdds, info.EdgeRemoves, info.Wake, info.Outputs, info.Changed)
+		rep := check.Feed(info.Delta())
 		if !rep.Valid() {
 			invalid++
 		}

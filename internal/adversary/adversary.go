@@ -51,6 +51,8 @@
 package adversary
 
 import (
+	"slices"
+
 	"dynlocal/internal/graph"
 	"dynlocal/internal/prf"
 	"dynlocal/internal/problems"
@@ -110,18 +112,40 @@ type Adversary interface {
 // valid through the next Resolve call and may be recycled by the one
 // after that; the returned diff slices are valid until the next Resolve.
 // Clone anything retained longer.
+//
+// Resolver has two mutually exclusive feeds. Resolve is the eager one:
+// every round yields a materialized graph (wrapper adversaries and tests
+// use it). Observe/Materialize is the lazy one the engine's sparse round
+// plane uses: Observe only reports each round's diff — folding it into a
+// pending net-diff — and a CSR graph is built just when Materialize is
+// called, so delta-native rounds never pay the patcher's O(n + m) merge.
+// The pending net-diff is bounded by the symmetric difference against the
+// last materialized graph, i.e. O(m) however many rounds pass between
+// materializations.
 type Resolver struct {
 	p      *graph.Patcher
 	prev   *graph.Graph
 	addBuf []graph.EdgeKey
 	remBuf []graph.EdgeKey
+
+	// Lazy plane (Observe/Materialize): the net edge diff accumulated
+	// since prev was last materialized, with exact add/remove
+	// cancellation, plus sort scratch for Materialize. Kept separate from
+	// addBuf/remBuf so a mid-round Materialize cannot clobber diff slices
+	// an Observe caller is still holding.
+	pendAdd, pendRem map[graph.EdgeKey]struct{}
+	matAdd, matRem   []graph.EdgeKey
 }
 
 // NewResolver creates a resolver over an n-node universe; the previous
 // topology starts as the empty graph G_0.
 func NewResolver(n int) *Resolver {
 	p := graph.NewPatcher(n)
-	return &Resolver{p: p, prev: p.Current()}
+	return &Resolver{
+		p: p, prev: p.Current(),
+		pendAdd: make(map[graph.EdgeKey]struct{}),
+		pendRem: make(map[graph.EdgeKey]struct{}),
+	}
 }
 
 // Resolve turns st into a (graph, adds, removes) triple. For a delta step
@@ -144,6 +168,73 @@ func (r *Resolver) Resolve(st *Step) (g *graph.Graph, adds, removes []graph.Edge
 	r.addBuf, r.remBuf = adds, removes
 	r.prev = g
 	return g, adds, removes
+}
+
+// Observe is the lazy sibling of Resolve: it reports the round's sorted
+// edge diff without materializing a graph. Delta steps pass their diff
+// through and fold it into the resolver's pending net-diff (with exact
+// add/remove cancellation), so a delta-native round costs O(changes) and
+// allocates nothing; materialized steps are adopted as-is (after catching
+// the pending diff up) and their diff synthesized as in Resolve. The
+// current graph is produced on demand by Materialize. The returned
+// slices follow the same lifetime as Resolve's: valid until the next
+// Observe. Observe and Resolve must not be mixed on one Resolver.
+func (r *Resolver) Observe(st *Step) (adds, removes []graph.EdgeKey) {
+	if st.G == nil {
+		for _, k := range st.EdgeAdds {
+			if _, ok := r.pendRem[k]; ok {
+				delete(r.pendRem, k)
+			} else {
+				r.pendAdd[k] = struct{}{}
+			}
+		}
+		for _, k := range st.EdgeRemoves {
+			if _, ok := r.pendAdd[k]; ok {
+				delete(r.pendAdd, k)
+			} else {
+				r.pendRem[k] = struct{}{}
+			}
+		}
+		return st.EdgeAdds, st.EdgeRemoves
+	}
+	prev := r.Materialize()
+	g := st.G
+	if g == prev {
+		return nil, nil
+	}
+	adds, removes = graph.DiffSortedKeys(prev.EdgeKeys(), g.EdgeKeys(), r.addBuf[:0], r.remBuf[:0])
+	r.addBuf, r.remBuf = adds, removes
+	r.prev = g
+	return adds, removes
+}
+
+// Materialize returns the current graph of the Observe feed, folding any
+// pending net diff into the pooled patcher first. With no pending changes
+// it is O(1) (the previously materialized graph is returned unchanged);
+// otherwise it costs one O(n + m) patcher merge — which is why the engine
+// only calls it on demand, never per round. The returned graph follows
+// the patcher lifetime: valid until the second-next materialization that
+// actually patches; Clone to retain longer.
+func (r *Resolver) Materialize() *graph.Graph {
+	if len(r.pendAdd) == 0 && len(r.pendRem) == 0 {
+		return r.prev
+	}
+	r.matAdd = sortedKeys(r.pendAdd, r.matAdd[:0])
+	r.matRem = sortedKeys(r.pendRem, r.matRem[:0])
+	clear(r.pendAdd)
+	clear(r.pendRem)
+	r.p.Reset(r.prev)
+	r.prev = r.p.Apply(r.matAdd, r.matRem)
+	return r.prev
+}
+
+// sortedKeys appends a key set to dst in ascending order.
+func sortedKeys(set map[graph.EdgeKey]struct{}, dst []graph.EdgeKey) []graph.EdgeKey {
+	for k := range set {
+		dst = append(dst, k)
+	}
+	slices.Sort(dst)
+	return dst
 }
 
 // AllNodes returns the full wake set 0..n-1.

@@ -257,9 +257,9 @@ func TestDColorRespectsIntersectionPacking(t *testing.T) {
 	bad := 0
 	e.OnRound(func(info *engine.RoundInfo) {
 		if inter == nil {
-			inter = info.Graph
+			inter = info.Graph()
 		} else {
-			inter = graph.Intersection(inter, info.Graph)
+			inter = graph.Intersection(inter, info.Graph())
 		}
 		bad += len((problems.ProperColoring{}).CheckPartial(inter, info.Outputs))
 	})
@@ -299,7 +299,7 @@ func TestSColorPartialSolutionEveryRound(t *testing.T) {
 	e := engine.New(engine.Config{N: n, Seed: 23}, adv, NewNetworkStatic(n))
 	chk := verify.NewPartial(problems.Coloring())
 	e.OnRound(func(info *engine.RoundInfo) {
-		if rep := chk.Observe(info.Graph, info.Outputs); !rep.Valid() {
+		if rep := chk.Observe(info.Graph(), info.Outputs); !rep.Valid() {
 			t.Fatalf("round %d: B.1 violated: %v", info.Round, rep.Violations[0])
 		}
 	})
@@ -388,7 +388,7 @@ func TestColoringConcatTDynamicEveryRound(t *testing.T) {
 	chk := verify.NewTDynamic(problems.Coloring(), combined.T1, n)
 	invalid := 0
 	e.OnRound(func(info *engine.RoundInfo) {
-		rep := chk.Observe(info.Graph, info.Wake, info.Outputs)
+		rep := chk.Observe(info.Graph(), info.Wake, info.Outputs)
 		if !rep.Valid() {
 			invalid++
 		}

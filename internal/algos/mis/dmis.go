@@ -121,15 +121,19 @@ type dmisNode struct {
 	v graph.NodeID
 
 	out problems.Value
-	// streak[u] is the last age at which u had broadcast in every round
+	// streak(u) is the last age at which u had broadcast in every round
 	// of this instance so far; u is an intersection-graph neighbor in the
-	// current round iff streak[u] == age-1. One map for the node's
-	// lifetime — the per-round intersection needs no allocation.
-	streak map[graph.NodeID]int32
-	age    int    // rounds processed
-	provD  bool   // Dominated input, not yet re-witnessed (rounds 1-2)
-	alpha  uint64 // this round's random word (valid while undecided)
-	mask   uint64 // alpha truncation mask (AlphaBits)
+	// current round iff streak(u) == age-1. Stored as parallel key/value
+	// slices scanned linearly: the per-message lookup is on the hottest
+	// engine path and at local-algorithm degrees a scan of a few
+	// contiguous entries beats hashing. One allocation for the node's
+	// lifetime — the per-round intersection needs none.
+	streakK []graph.NodeID
+	streakV []int32
+	age     int    // rounds processed
+	provD   bool   // Dominated input, not yet re-witnessed (rounds 1-2)
+	alpha   uint64 // this round's random word (valid while undecided)
+	mask    uint64 // alpha truncation mask (AlphaBits)
 }
 
 // Start records the input configuration (M, D); Algorithm 4 needs no
@@ -160,6 +164,16 @@ func (d *dmisNode) Broadcast(ctx *engine.Ctx, buf []engine.SubMsg) []engine.SubM
 	}
 }
 
+// Quiescent implements engine.Quiescer: a confirmed Dominated node is
+// terminal — Process never leaves a non-⊥ output (decided nodes never
+// revert in DMis) and Broadcast is forever silent once the provisional
+// flag has cleared — so the engine may stop running it. InMIS nodes are
+// decided too but beacon their mark every round, and provisional
+// Dominated nodes still beacon presence, so neither may be skipped.
+func (d *dmisNode) Quiescent() bool {
+	return d.out == problems.Dominated && !d.provD
+}
+
 // less compares (alpha, id) pairs lexicographically — the id breaks the
 // (probability ~2⁻⁶⁴) ties so that no two adjacent nodes can ever join M
 // in the same round, making the independence half of A.2 deterministic.
@@ -173,23 +187,37 @@ func less(a uint64, av graph.NodeID, b uint64, bv graph.NodeID) bool {
 // Process implements the receive half of Algorithm 4, restricted to the
 // intersection graph.
 func (d *dmisNode) Process(ctx *engine.Ctx, in []engine.Incoming, deg int) {
-	if d.streak == nil {
+	if d.streakK == nil {
 		// First executed round: the intersection graph is the current
 		// graph; senders are exactly the participating neighbors.
 		// (Dominated nodes are silent, but they also never influence
 		// anyone, so omitting them from the known set is harmless.)
-		d.streak = make(map[graph.NodeID]int32, len(in))
+		d.streakK = make([]graph.NodeID, 0, len(in))
+		d.streakV = make([]int32, 0, len(in))
 	}
 	prev := int32(d.age)
 	mark := false
 	isMin := true
 	for _, m := range in {
 		// Intersection-neighbor test: the sender must have broadcast in
-		// every round so far (stale streak entries never match again).
-		if prev > 0 && d.streak[m.From] != prev {
+		// every round so far (stale streak entries never match again;
+		// an absent entry reads as streak 0).
+		si := -1
+		for i, k := range d.streakK {
+			if k == m.From {
+				si = i
+				break
+			}
+		}
+		if prev > 0 && (si < 0 || d.streakV[si] != prev) {
 			continue
 		}
-		d.streak[m.From] = prev + 1
+		if si < 0 {
+			d.streakK = append(d.streakK, m.From)
+			d.streakV = append(d.streakV, prev+1)
+		} else {
+			d.streakV[si] = prev + 1
+		}
 		switch m.M.Kind {
 		case KindMark:
 			mark = true

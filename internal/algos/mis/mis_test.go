@@ -105,9 +105,9 @@ func TestDMisIndependenceOnSinceStartIntersection(t *testing.T) {
 	var inter *graph.Graph
 	e.OnRound(func(info *engine.RoundInfo) {
 		if inter == nil {
-			inter = info.Graph
+			inter = info.Graph()
 		} else {
-			inter = graph.Intersection(inter, info.Graph)
+			inter = graph.Intersection(inter, info.Graph())
 		}
 		if bad := (problems.IndependentSet{}).CheckPartial(inter, info.Outputs); len(bad) != 0 {
 			t.Fatalf("round %d: adjacent MIS nodes on intersection: %v", info.Round, bad[0])
@@ -170,7 +170,7 @@ func TestDMisEdgeDecayLemma52(t *testing.T) {
 			if info.Round%2 != 0 {
 				return
 			}
-			h := undecidedEdges(info.Graph, info.Outputs)
+			h := undecidedEdges(info.Graph(), info.Outputs)
 			if prevH >= 50 { // ratio only meaningful with enough edges
 				ratios = append(ratios, float64(h)/float64(prevH))
 			}
@@ -249,7 +249,7 @@ func TestSMisPartialSolutionEveryRound(t *testing.T) {
 				if info.Outputs[v] == problems.Dominated {
 					// Still dominated: must have a live dominator now.
 					ok := false
-					for _, u := range info.Graph.Neighbors(v) {
+					for _, u := range info.Graph().Neighbors(v) {
 						if info.Outputs[u] == problems.InMIS {
 							ok = true
 						}
@@ -261,7 +261,7 @@ func TestSMisPartialSolutionEveryRound(t *testing.T) {
 				delete(orphans, v)
 			}
 		}
-		rep := chk.Observe(info.Graph, info.Outputs)
+		rep := chk.Observe(info.Graph(), info.Outputs)
 		for _, viol := range rep.Violations {
 			totalViolations++
 			if viol.Reason != "dominated without MIS neighbor (partial)" {
@@ -387,7 +387,7 @@ func TestMISConcatTDynamicEveryRound(t *testing.T) {
 	invalid := 0
 	var firstBad string
 	e.OnRound(func(info *engine.RoundInfo) {
-		rep := chk.Observe(info.Graph, info.Wake, info.Outputs)
+		rep := chk.Observe(info.Graph(), info.Wake, info.Outputs)
 		if !rep.Valid() {
 			invalid++
 			if firstBad == "" {
@@ -494,7 +494,7 @@ func TestChainedMISTDynamicEveryRound(t *testing.T) {
 	invalid := 0
 	var first string
 	e.OnRound(func(info *engine.RoundInfo) {
-		rep := chk.Observe(info.Graph, info.Wake, info.Outputs)
+		rep := chk.Observe(info.Graph(), info.Wake, info.Outputs)
 		if !rep.Valid() {
 			invalid++
 			if first == "" {
@@ -571,7 +571,7 @@ func TestChainedMISMidPipelineFreshness(t *testing.T) {
 	chk := verify.NewTDynamic(problems.MIS(), midW, n)
 	invalid, counted := 0, 0
 	e.OnRound(func(info *engine.RoundInfo) {
-		rep := chk.Observe(info.Graph, info.Wake, midOut)
+		rep := chk.Observe(info.Graph(), info.Wake, midOut)
 		if info.Round > 2*chained.T1 {
 			counted++
 			if !rep.Valid() {

@@ -46,7 +46,7 @@ func TestGreedyRepairMISRepairsSingleChange(t *testing.T) {
 	churnThenQuiet := adversaryPhase{quietAfter: 30, inner: &adversary.Churn{Base: g, Add: 1, Del: 1, Seed: 4}}
 	e := engine.New(engine.Config{N: n, Seed: 5}, &churnThenQuiet, GreedyRepairMIS{N: n})
 	var lastG *graph.Graph
-	e.OnRound(func(info *engine.RoundInfo) { lastG = info.Graph })
+	e.OnRound(func(info *engine.RoundInfo) { lastG = info.Graph() })
 	e.Run(90)
 	final := e.Outputs()
 	all := adversary.AllNodes(n)
@@ -84,10 +84,10 @@ func TestRestartMISIsTDynamicButUnstable(t *testing.T) {
 	stab := verify.NewStability(n, 2, restart.StabilityWait())
 	invalid := 0
 	e.OnRound(func(info *engine.RoundInfo) {
-		if rep := chk.Observe(info.Graph, info.Wake, info.Outputs); !rep.Valid() {
+		if rep := chk.Observe(info.Graph(), info.Wake, info.Outputs); !rep.Valid() {
 			invalid++
 		}
-		stab.Observe(info.Graph, info.Wake, info.Outputs)
+		stab.Observe(info.Graph(), info.Wake, info.Outputs)
 	})
 	e.Run(3 * restart.T1)
 	if invalid != 0 {
@@ -103,7 +103,7 @@ func TestRestartMISIsTDynamicButUnstable(t *testing.T) {
 	e2 := engine.New(engine.Config{N: n, Seed: 12}, adversary.Static{G: g}, combined)
 	stab2 := verify.NewStability(n, 2, combined.StabilityWait())
 	e2.OnRound(func(info *engine.RoundInfo) {
-		stab2.Observe(info.Graph, info.Wake, info.Outputs)
+		stab2.Observe(info.Graph(), info.Wake, info.Outputs)
 	})
 	e2.Run(3 * restart.T1)
 	if len(stab2.Violations()) != 0 {
@@ -129,8 +129,8 @@ func TestGreedyRepairViolatesUnderConstantChurn(t *testing.T) {
 			return // allow initial convergence
 		}
 		all := adversary.AllNodes(n)
-		bad := (problems.IndependentSet{}).CheckFull(info.Graph, info.Outputs, all)
-		bad = append(bad, (problems.DominatingSet{}).CheckFull(info.Graph, info.Outputs, all)...)
+		bad := (problems.IndependentSet{}).CheckFull(info.Graph(), info.Outputs, all)
+		bad = append(bad, (problems.DominatingSet{}).CheckFull(info.Graph(), info.Outputs, all)...)
 		if len(bad) > 0 {
 			violRounds++
 		}

@@ -73,7 +73,9 @@ func (s Single) Name() string { return s.Label }
 
 // NewNode implements engine.Algorithm.
 func (s Single) NewNode(v graph.NodeID) engine.NodeProc {
-	return singleProc{inst: s.Factory(v)}
+	inst := s.Factory(v)
+	q, _ := inst.(engine.Quiescer)
+	return singleProc{inst: inst, q: q}
 }
 
 // MessageBits implements engine.BitSizer when a Bits function is set.
@@ -84,7 +86,10 @@ func (s Single) MessageBits(m engine.SubMsg) int {
 	return s.Bits(m)
 }
 
-type singleProc struct{ inst NodeInstance }
+type singleProc struct {
+	inst NodeInstance
+	q    engine.Quiescer // inst's Quiescer view, nil if it has none
+}
 
 func (p singleProc) Start(ctx *engine.Ctx, input problems.Value) { p.inst.Start(ctx, input) }
 func (p singleProc) Broadcast(ctx *engine.Ctx, buf []engine.SubMsg) []engine.SubMsg {
@@ -94,6 +99,10 @@ func (p singleProc) Process(ctx *engine.Ctx, in []engine.Incoming, deg int) {
 	p.inst.Process(ctx, in, deg)
 }
 func (p singleProc) Output() problems.Value { return p.inst.Output() }
+
+// Quiescent forwards the wrapped instance's engine.Quiescer contract; an
+// instance without one never reports quiescent.
+func (p singleProc) Quiescent() bool { return p.q != nil && p.q.Quiescent() }
 
 // WrapSingle runs a dynamic algorithm standalone (all nodes start it at
 // their wake round with their input).

@@ -135,7 +135,7 @@ func TestTopologyDeltaFeedMatchesBruteDiff(t *testing.T) {
 				var prevG *graph.Graph = graph.Empty(n)
 				e.OnRound(func(info *RoundInfo) {
 					wantAdds, wantRems := graph.DiffSortedKeys(
-						prevG.EdgeKeys(), info.Graph.EdgeKeys(), nil, nil)
+						prevG.EdgeKeys(), info.Graph().EdgeKeys(), nil, nil)
 					if fmt.Sprint(wantAdds) != fmt.Sprint(info.EdgeAdds) {
 						t.Fatalf("round %d adds: got %v want %v", info.Round, info.EdgeAdds, wantAdds)
 					}
@@ -154,13 +154,13 @@ func TestTopologyDeltaFeedMatchesBruteDiff(t *testing.T) {
 						}
 						delete(present, k)
 					}
-					if len(present) != info.Graph.M() {
+					if len(present) != info.Graph().M() {
 						t.Fatalf("round %d: folded %d edges, graph has %d",
-							info.Round, len(present), info.Graph.M())
+							info.Round, len(present), info.Graph().M())
 					}
 					// prevG is read next round, within the pooled graph's
 					// two-round lifetime.
-					prevG = info.Graph
+					prevG = info.Graph()
 				})
 				e.Run(20)
 			})

@@ -13,10 +13,10 @@
 //     adversary.
 //
 // The two communication phases are parallelized over edge-balanced node
-// shards (cut by cumulative degree from the graph's CSR offsets, see
-// internal/graph) with a barrier between them. Message delivery is
-// batched per sender: each neighbor's outbox lands in the receiver's
-// exactly-sized inbox as one contiguous run.
+// shards (cut by cumulative degree, see parallel.go) with a barrier
+// between them. Message delivery is batched per sender: each neighbor's
+// outbox lands in the receiver's exactly-sized inbox as one contiguous
+// run.
 //
 // # Determinism contract
 //
@@ -26,23 +26,46 @@
 // scheduling — per-worker accounting is folded at the phase barrier with
 // exact integer sums, and the per-worker changed-output shards cover
 // contiguous ascending node ranges, so their concatenation in worker
-// order is the same sorted list regardless of sharding. CI enforces the
-// contract under the race detector.
+// order is the same sorted list regardless of sharding. Because the prf
+// streams are stateless per (node, round), the sparse activity plane
+// below can skip a node's callbacks entirely without desynchronizing
+// anyone's randomness. CI enforces the contract under the race detector.
+//
+// # Sparse activity plane
+//
+// Rounds cost O(active + changes), not O(n): the engine maintains an
+// explicit active set and drives both phases over it. A node enters the
+// set when it wakes and re-enters whenever it touches an edge of the
+// round's topology diff. It leaves only by consent: algorithms whose
+// nodes reach a terminal silent state implement Quiescer, and a node
+// reporting Quiescent — with unchanged output — for OutputLag+1
+// consecutive rounds is dropped from the set (the grace period guarantees
+// every snapshot-ring slot holds its final output first). Nodes of
+// algorithms without Quiescer stay active while awake, so for them a
+// round costs O(awake) — still independent of the universe size n, which
+// is the regime of the paper's highly dynamic P2P workloads (awake ≪ n).
+// The current topology lives in an incrementally patched adjacency
+// (graph.DynAdj, O(changes·Δ) per round); a CSR graph is only
+// materialized when an observer asks RoundInfo.Graph() or a wrapper
+// adversary asks View.PrevGraph(). Worker shards are cut by walking the
+// active list's degrees — O(active + workers), no per-round O(n) prefix
+// rebuild. Config.Dense selects the pre-sparse reference walk over the
+// full node space (the equivalence baseline; bit-identical by
+// construction and pinned by tests).
 //
 // # Round-delta plane
 //
-// Both sides of a round are exposed as deltas. On the output side,
+// Both sides of a round are exposed as deltas, consolidated in the
+// RoundDelta view (RoundInfo.Delta()). On the output side,
 // RoundInfo.Changed is the sorted list of nodes whose output differs from
 // the previous round, folded from the per-worker shards at the phase-2
 // barrier. On the topology side, RoundInfo.EdgeAdds/EdgeRemoves are the
-// sorted edge diff of Graph against the previous round: taken verbatim
-// from delta-native adversaries (whose Step carries the diff instead of a
-// graph — the engine then maintains its current graph through a pooled
-// CSR patcher, one block-copy merge per round instead of a full rebuild),
-// or synthesized by a linear edge-key merge for adversaries that
-// materialize. Observers that maintain per-round state (the checkers in
-// internal/verify, violation trackers in internal/problems, the sliding
-// windows in internal/dyngraph) consume both feeds to do
+// sorted edge diff against the previous round: taken verbatim from
+// delta-native adversaries, or synthesized by a linear edge-key merge for
+// adversaries that materialize. Observers that maintain per-round state
+// (the checkers in internal/verify, violation trackers in
+// internal/problems, the sliding windows in internal/dyngraph) consume
+// the delta plane whole (verify.(*TDynamic).Feed) to do
 // O(|changed| + |diff|) work per round instead of rescanning all n
 // outputs or all |E_r| edges. The model invariant that edges only touch
 // awake nodes is asserted on the delta too: each added edge is checked as
@@ -53,13 +76,14 @@
 //
 // The engine pools aggressively; observers own nothing they are handed:
 // RoundInfo.Outputs is a snapshot ring slot reused OutputLag+1 rounds
-// later; RoundInfo.Changed, EdgeAdds and EdgeRemoves are reused on the
-// next Step — copy any of them to retain. RoundInfo.Graph is immutable,
-// but under a delta-native adversary it aliases a patcher arena that is
-// recycled two Steps later: it may be read freely during its round and
-// the next, and must be Cloned to be retained longer. Inside algorithm
-// callbacks, Broadcast's buf and Process's inbox are likewise
-// engine-owned scratch, valid only for the duration of the call.
+// later; RoundInfo.Wake, Changed, EdgeAdds and EdgeRemoves are reused on
+// the next Step. RoundInfo.Graph() returns an immutable graph that may
+// alias a pooled patcher arena recycled two materializations later: it
+// may be read freely during its round and the next, and must be Cloned to
+// be retained longer. RoundInfo.Retain is the one sanctioned way to hold
+// a whole round past those lifetimes. Inside algorithm callbacks,
+// Broadcast's buf and Process's inbox are likewise engine-owned scratch,
+// valid only for the duration of the call.
 //
 // The per-round topologies come from an adversary (internal/adversary).
 package engine
@@ -67,6 +91,7 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"slices"
 
 	"dynlocal/internal/adversary"
 	"dynlocal/internal/graph"
@@ -121,6 +146,22 @@ type NodeProc interface {
 	Output() problems.Value
 }
 
+// Quiescer is optionally implemented by NodeProcs whose nodes can reach a
+// terminal silent state. Quiescent must only report true once the node
+// has permanently decided: from this round on, regardless of any future
+// inbox contents, degrees or topology changes, its Broadcast always
+// returns buf unchanged and its Output never changes. The engine then
+// drops the node from the active set (after the snapshot-ring grace
+// period) and stops invoking its callbacks — a dropped node is literally
+// free — re-running them only if one of its edges churns, so skipped
+// rounds must be unobservable. Internal bookkeeping (ages, streaks) may
+// freeze while dropped; the contract only constrains Broadcast and
+// Output. Nodes that can revert, or that beacon indefinitely, must never
+// report quiescent.
+type Quiescer interface {
+	Quiescent() bool
+}
+
 // Algorithm creates per-node processes.
 type Algorithm interface {
 	Name() string
@@ -134,6 +175,11 @@ type BitSizer interface {
 	MessageBits(m SubMsg) int
 }
 
+// DefaultOutputLag is the adversary obliviousness lag used when
+// Config.OutputLag is left zero: the 2-oblivious adversary that DMis
+// (Lemma 5.1) requires.
+const DefaultOutputLag = 2
+
 // Config parameterizes a simulation.
 type Config struct {
 	// N is the size of the potential-node universe (the paper's n, known
@@ -144,44 +190,123 @@ type Config struct {
 	// Workers is the parallelism degree; 0 means GOMAXPROCS.
 	Workers int
 	// OutputLag is the adversary's obliviousness lag ρ: when constructing
-	// G_r the adversary sees outputs through round r-ρ. 0 means the
-	// default of 2 (the 2-oblivious adversary DMis needs); 1 is a fully
-	// adaptive online adversary.
+	// G_r the adversary sees outputs through round r-ρ. The zero value
+	// selects DefaultOutputLag (= 2, the 2-oblivious adversary DMis
+	// needs); 1 is a fully adaptive online adversary; negative values
+	// panic in New.
 	OutputLag int
 	// Input provides per-node input values (nil = all Bot).
 	Input []problems.Value
+	// Dense selects the reference dense round walk: both phases iterate
+	// the full node space, the round graph is materialized eagerly and no
+	// node ever quiesces. Outputs and RoundInfo deltas are bit-identical
+	// to the default sparse activity plane (pinned by the equivalence
+	// tests); rounds cost O(n + m) instead of O(active + changes). Meant
+	// for differential tests and as the benchmark baseline.
+	Dense bool
 }
 
-// RoundInfo is the observer view of a completed round.
+// RoundDelta is the consolidated view of one round's delta plane: the
+// topology diff, the wake set, the end-of-round output snapshot and the
+// output diff. It is the single argument of verify.(*TDynamic).Feed and
+// is obtained from RoundInfo.Delta. The slices alias the RoundInfo they
+// came from and follow its pooling lifetimes.
+type RoundDelta struct {
+	// Round is the 1-based round the delta describes.
+	Round int
+	// EdgeAdds and EdgeRemoves are the sorted edge diff against the
+	// previous round's graph.
+	EdgeAdds, EdgeRemoves []graph.EdgeKey
+	// Wake lists the nodes that woke this round.
+	Wake []graph.NodeID
+	// Changed lists, ascending, the nodes whose output changed this round.
+	Changed []graph.NodeID
+	// Outputs is the full end-of-round output snapshot.
+	Outputs []problems.Value
+}
+
+// RoundInfo is the observer view of a completed round. The struct itself
+// is pooled on the same ring as its Outputs snapshot — reused
+// OutputLag+1 rounds later — so it shares its buffers' lifetime exactly;
+// use Retain to hold a round longer.
 type RoundInfo struct {
 	Round int
-	Graph *graph.Graph
 	Wake  []graph.NodeID
 	// Outputs is the end-of-round snapshot. The engine pools snapshot
 	// buffers: the slice is reused OutputLag+1 rounds later, so observers
-	// that retain outputs across rounds must copy it. Do not modify.
+	// that retain outputs across rounds must copy it (or Retain the
+	// round). Do not modify.
 	Outputs []problems.Value
 	// Changed lists, in ascending node order and without duplicates, the
 	// nodes whose Outputs entry differs from the previous round's snapshot
 	// (round 1 diffs against the all-⊥ initial state). It is folded from
 	// the per-worker shards at the phase barrier, so its contents are
 	// bit-identical for every worker count. This is the output side of the
-	// round-delta plane: checkers consume it to update violation state in
-	// O(|Changed|) instead of re-scanning all n outputs (see
-	// verify.(*TDynamic).ObserveChanged). The slice is pooled and reused on
-	// the next Step — copy to retain. Do not modify.
+	// round-delta plane: checkers consume it (via Delta and
+	// verify.(*TDynamic).Feed) to update violation state in O(|Changed|)
+	// instead of re-scanning all n outputs. The slice is pooled and reused
+	// on the next Step — copy to retain. Do not modify.
 	Changed []graph.NodeID
 	// EdgeAdds and EdgeRemoves are the topology side of the round-delta
-	// plane: the sorted edge diff of Graph against the previous round's
-	// graph (round 1 diffs against the empty G_0) — emitted natively by
-	// delta adversaries, synthesized by edge-list merge otherwise.
-	// Checkers pair them with Changed via
-	// verify.(*TDynamic).ObserveDeltas, making a verified round cost
-	// O(changes) instead of O(|E_r|). Both slices are pooled and reused
-	// on the next Step — copy to retain. Do not modify.
+	// plane: the sorted edge diff of this round's graph against the
+	// previous round's (round 1 diffs against the empty G_0) — emitted
+	// natively by delta adversaries, synthesized by edge-list merge
+	// otherwise. Both slices are pooled and reused on the next Step — copy
+	// to retain. Do not modify.
 	EdgeAdds, EdgeRemoves []graph.EdgeKey
 	Messages              int   // sub-messages delivered
 	Bits                  int64 // declared encoded bits (0 if no BitSizer)
+
+	eng *Engine      // source engine for lazy graph materialization
+	g   *graph.Graph // materialized graph (dense rounds, retained copies)
+}
+
+// Graph returns the round's communication graph G_r, materializing it on
+// demand: under the sparse activity plane no CSR graph exists unless an
+// observer asks for one, so rounds whose observers never call Graph never
+// pay the O(n + m) materialization. The returned graph is immutable but
+// may alias a pooled arena — it may be read during this round and the
+// next, and must be Cloned (or the round Retained) to be held longer.
+// For a live (non-retained) RoundInfo of a sparse engine, Graph must be
+// called before the next Step; afterwards it panics, since the engine's
+// topology has moved past this round.
+func (ri *RoundInfo) Graph() *graph.Graph {
+	if ri.g != nil {
+		return ri.g
+	}
+	if ri.eng == nil || ri.eng.round != ri.Round {
+		panic(fmt.Sprintf("engine: RoundInfo.Graph for round %d called after the engine moved on — call it during the round, or use Retain", ri.Round))
+	}
+	return ri.eng.resolver.Materialize()
+}
+
+// Delta returns the round's consolidated delta-plane view. The slices
+// alias this RoundInfo and follow its pooling lifetimes, so a RoundDelta
+// is meant to be consumed within the observer callback (exactly what
+// verify.(*TDynamic).Feed does).
+func (ri *RoundInfo) Delta() RoundDelta {
+	return RoundDelta{
+		Round:    ri.Round,
+		EdgeAdds: ri.EdgeAdds, EdgeRemoves: ri.EdgeRemoves,
+		Wake: ri.Wake, Changed: ri.Changed, Outputs: ri.Outputs,
+	}
+}
+
+// Retain returns a deep copy of the round that owns all of its storage —
+// the one sanctioned way to hold a round past the pooled-buffer
+// lifetimes. The graph is materialized and cloned too, so Retain costs
+// O(n + m); call it only for rounds actually kept. Like Graph, Retain
+// must be called before the engine plays the next Step.
+func (ri *RoundInfo) Retain() *RoundInfo {
+	cp := *ri
+	cp.g = ri.Graph().Clone()
+	cp.eng = nil
+	cp.Wake = slices.Clone(ri.Wake)
+	cp.Outputs = slices.Clone(ri.Outputs)
+	cp.Changed = slices.Clone(ri.Changed)
+	cp.EdgeAdds = slices.Clone(ri.EdgeAdds)
+	cp.EdgeRemoves = slices.Clone(ri.EdgeRemoves)
+	return &cp
 }
 
 // Engine drives one simulation.
@@ -192,20 +317,41 @@ type Engine struct {
 	sizer BitSizer
 
 	round    int
-	curGraph *graph.Graph
-	resolver *adversary.Resolver // folds delta steps, synthesizes legacy diffs
+	resolver *adversary.Resolver // lazy topology feed: per-round diffs, on-demand CSR
 	states   []NodeProc
 	awake    []bool
 	wakeRnd  []int
 	outbox   [][]SubMsg
 	inbox    [][]Incoming
 	snaps    [][]problems.Value // ring of pooled output snapshots
+	infos    []RoundInfo        // ring of pooled RoundInfo headers, same lifetime
 	lag      int
 	workers  int
 	acc      []workerAcc      // per-worker accounting cells
 	chg      [][]graph.NodeID // per-worker changed-output shards
 	changed  []graph.NodeID   // folded changed-node list (pooled)
-	bounds   []int            // shard-boundary scratch
+	bounds   []int            // dense-mode shard-boundary scratch
+
+	// Sparse activity plane (nil/unused when cfg.Dense).
+	adj        *graph.DynAdj    // incrementally patched round topology
+	active     []bool           // membership bitmap of activeList
+	activeList []graph.NodeID   // sorted active set, both phases walk this
+	listBuf    []graph.NodeID   // ping-pong scratch for merge/compaction
+	newAct     []graph.NodeID   // this round's activations (wake + edge touch)
+	quiet      []int32          // consecutive quiescent rounds, for the drop grace
+	quiescer   []Quiescer       // cached Quiescer view of states[v], nil if none
+	drops      [][]graph.NodeID // per-worker drop shards
+	cuts       []int            // active-list shard-cut scratch
+	pool       *phasePool       // persistent phase workers (lazy)
+
+	// Per-Step state read by the prebuilt sparse phase callbacks. The
+	// callbacks are built once in New — a closure literal inside Step
+	// would allocate every round.
+	stepRound          int
+	snapCur, snapPrev  []problems.Value
+	phase1Fn, phase2Fn phaseFunc
+	sctx               Ctx  // serial-path scratch; a stack Ctx would escape
+	vw                 view // adversary View scratch; boxing a value would allocate
 
 	observers []func(*RoundInfo)
 }
@@ -220,7 +366,7 @@ func New(cfg Config, adv adversary.Adversary, algo Algorithm) *Engine {
 	}
 	lag := cfg.OutputLag
 	if lag == 0 {
-		lag = 2
+		lag = DefaultOutputLag
 	}
 	if lag < 1 {
 		panic("engine: OutputLag must be >= 1 (1 = fully adaptive online)")
@@ -234,7 +380,6 @@ func New(cfg Config, adv adversary.Adversary, algo Algorithm) *Engine {
 		adv:      adv,
 		algo:     algo,
 		round:    0,
-		curGraph: graph.Empty(cfg.N),
 		resolver: adversary.NewResolver(cfg.N),
 		states:   make([]NodeProc, cfg.N),
 		awake:    make([]bool, cfg.N),
@@ -242,12 +387,24 @@ func New(cfg Config, adv adversary.Adversary, algo Algorithm) *Engine {
 		outbox:   make([][]SubMsg, cfg.N),
 		inbox:    make([][]Incoming, cfg.N),
 		snaps:    make([][]problems.Value, lag+1),
+		infos:    make([]RoundInfo, lag+1),
 		lag:      lag,
 		workers:  workers,
 		acc:      make([]workerAcc, workers),
 		chg:      make([][]graph.NodeID, workers),
 		bounds:   make([]int, 0, workers+1),
 	}
+	if !cfg.Dense {
+		e.adj = graph.NewDynAdj(cfg.N)
+		e.active = make([]bool, cfg.N)
+		e.quiet = make([]int32, cfg.N)
+		e.quiescer = make([]Quiescer, cfg.N)
+		e.drops = make([][]graph.NodeID, workers)
+		e.cuts = make([]int, 0, workers+1)
+		e.phase1Fn = e.sparseBroadcast
+		e.phase2Fn = e.sparseProcess
+	}
+	e.vw.e = e
 	if s, ok := algo.(BitSizer); ok {
 		e.sizer = s
 	}
@@ -269,17 +426,22 @@ func (e *Engine) Awake(v graph.NodeID) bool { return e.awake[v] }
 // OnRound registers an observer invoked after every completed round.
 func (e *Engine) OnRound(fn func(*RoundInfo)) { e.observers = append(e.observers, fn) }
 
-// view adapts the engine to adversary.View for the round being built.
+// view adapts the engine to adversary.View for the round being built. It
+// lives on the Engine and is handed out by pointer: boxing a fresh value
+// into the interface would allocate on every Step.
 type view struct {
 	e *Engine
 	r int
 }
 
-func (v view) Round() int                 { return v.r }
-func (v view) N() int                     { return v.e.cfg.N }
-func (v view) PrevGraph() *graph.Graph    { return v.e.curGraph }
-func (v view) Awake(id graph.NodeID) bool { return v.e.awake[id] }
-func (v view) DelayedOutputs() []problems.Value {
+func (v *view) Round() int { return v.r }
+func (v *view) N() int     { return v.e.cfg.N }
+
+// PrevGraph materializes G_{r-1} on demand. Delta-native adversaries
+// never call it, keeping their rounds free of the O(n + m) CSR build.
+func (v *view) PrevGraph() *graph.Graph    { return v.e.resolver.Materialize() }
+func (v *view) Awake(id graph.NodeID) bool { return v.e.awake[id] }
+func (v *view) DelayedOutputs() []problems.Value {
 	seen := v.r - v.e.lag
 	if seen < 1 {
 		return nil
@@ -291,16 +453,18 @@ func (v view) DelayedOutputs() []problems.Value {
 // are pooled — see RoundInfo for what may be retained and for how long.
 func (e *Engine) Step() *RoundInfo {
 	r := e.round + 1
-	st := e.adv.Step(view{e: e, r: r})
+	e.vw.r = r
+	st := e.adv.Step(&e.vw)
 	if st.G != nil && st.G.N() != e.cfg.N {
 		panic("engine: adversary returned graph with wrong node space")
 	}
-	// Materialize the round topology and its diff: delta steps fold into
-	// the pooled patcher (no counting rebuild), materialized steps have
-	// their diff synthesized by one linear merge.
-	g, adds, removes := e.resolver.Resolve(&st)
+	// The round's topology as a sorted diff: passed through for delta
+	// steps, synthesized by one linear merge for materialized steps. No
+	// CSR graph is built here.
+	adds, removes := e.resolver.Observe(&st)
 
 	// Wake phase.
+	e.newAct = e.newAct[:0]
 	for _, v := range st.Wake {
 		if e.awake[v] {
 			continue
@@ -308,6 +472,13 @@ func (e *Engine) Step() *RoundInfo {
 		e.awake[v] = true
 		e.wakeRnd[v] = r
 		e.states[v] = e.algo.NewNode(v)
+		if e.adj != nil {
+			if q, ok := e.states[v].(Quiescer); ok {
+				e.quiescer[v] = q
+			}
+			e.active[v] = true
+			e.newAct = append(e.newAct, v)
+		}
 		ctx := Ctx{Node: v, Round: r, Seed: e.cfg.Seed}
 		input := problems.Bot
 		if e.cfg.Input != nil {
@@ -326,40 +497,273 @@ func (e *Engine) Step() *RoundInfo {
 		}
 	}
 
-	// Phase 1: broadcast.
-	e.parallelNodes(g, func(ctx *Ctx, _ int, v graph.NodeID) (int, int64) {
-		*ctx = Ctx{Node: v, Round: r, Seed: e.cfg.Seed}
-		e.outbox[v] = e.states[v].Broadcast(ctx, e.outbox[v][:0])
-		return 0, 0
-	})
+	var info *RoundInfo
+	if e.adj != nil {
+		info = e.stepSparse(r, &st, adds, removes)
+	} else {
+		info = e.stepDense(r, &st, adds, removes)
+	}
+	for _, fn := range e.observers {
+		fn(info)
+	}
+	return info
+}
 
-	// Phase 2: deliver, process, snapshot and account — fused per node so
-	// no serial post-pass remains. The snapshot buffer comes from the
-	// ring: the slot being overwritten is OutputLag+1 rounds old, and a
-	// still-sleeping node was sleeping then too (wakefulness is
-	// monotone), so its entry is already Bot.
-	snap := e.snaps[r%len(e.snaps)]
+// ringSlots returns this round's snapshot buffer and the previous
+// round's (nil in round 1, which diffs against the all-⊥ initial state).
+// The slot being overwritten is OutputLag+1 rounds old; a still-sleeping
+// node was sleeping then too (wakefulness is monotone), so its entry is
+// already Bot, and a node dropped from the active set wrote its final
+// output into every slot during the drop grace period.
+func (e *Engine) ringSlots(r int) (snap, prev []problems.Value) {
+	snap = e.snaps[r%len(e.snaps)]
 	if snap == nil {
 		snap = make([]problems.Value, e.cfg.N)
 		e.snaps[r%len(e.snaps)] = snap
 	}
-	// prev is last round's snapshot (a different ring slot, since the ring
-	// holds OutputLag+1 >= 2 slots); nil in round 1, which diffs against
-	// the all-⊥ initial state.
-	prev := e.snaps[(r-1)%len(e.snaps)]
+	if r > 1 {
+		prev = e.snaps[(r-1)%len(e.snaps)]
+	}
+	return snap, prev
+}
+
+// touch marks a node hit by the round's topology diff: it re-enters the
+// active set if dropped and restarts its quiescence grace either way.
+// Diff endpoints are awake (the model invariant was just asserted), so no
+// wakefulness check is needed.
+func (e *Engine) touch(v graph.NodeID) {
+	e.quiet[v] = 0
+	if !e.active[v] {
+		e.active[v] = true
+		e.newAct = append(e.newAct, v)
+	}
+}
+
+// mergeActive folds the round's sorted activations into the sorted
+// active list, ping-ponging between two pooled buffers. newAct is
+// disjoint from the current list (guarded by the active bitmap), so the
+// merge never sees equal keys.
+func (e *Engine) mergeActive() {
+	slices.Sort(e.newAct)
+	old := e.activeList
+	dst := e.listBuf[:0]
+	i, j := 0, 0
+	for i < len(old) && j < len(e.newAct) {
+		if old[i] < e.newAct[j] {
+			dst = append(dst, old[i])
+			i++
+		} else {
+			dst = append(dst, e.newAct[j])
+			j++
+		}
+	}
+	dst = append(dst, old[i:]...)
+	dst = append(dst, e.newAct[j:]...)
+	e.activeList, e.listBuf = dst, old[:0]
+}
+
+// applyDrops removes this round's quiesced nodes from the active set and
+// compacts the list. A dropped node's outbox is emptied once here — by
+// the Quiescer contract it would stay empty anyway — so senders' inbox
+// assembly needs no activity check.
+func (e *Engine) applyDrops() {
+	total := 0
+	for w := range e.drops {
+		total += len(e.drops[w])
+	}
+	if total == 0 {
+		return
+	}
+	for w := range e.drops {
+		for _, v := range e.drops[w] {
+			e.active[v] = false
+			e.outbox[v] = e.outbox[v][:0]
+		}
+	}
+	old := e.activeList
+	dst := e.listBuf[:0]
+	for _, v := range old {
+		if e.active[v] {
+			dst = append(dst, v)
+		}
+	}
+	e.activeList, e.listBuf = dst, old[:0]
+}
+
+// stepSparse plays the round over the active set: O(active + changes)
+// total, with accounting summed per sender so skipped quiescent receivers
+// cost nothing while Messages/Bits stay bit-identical to the dense walk.
+func (e *Engine) stepSparse(r int, st *adversary.Step, adds, removes []graph.EdgeKey) *RoundInfo {
+	e.adj.Apply(adds, removes)
+	for _, k := range adds {
+		u, v := k.Nodes()
+		e.touch(u)
+		e.touch(v)
+	}
+	for _, k := range removes {
+		u, v := k.Nodes()
+		e.touch(u)
+		e.touch(v)
+	}
+	if len(e.newAct) > 0 {
+		e.mergeActive()
+	}
+	list := e.activeList
+
+	// Phase 1: broadcast (sparseBroadcast over the active list).
+	e.stepRound = r
+	msgs, bits := e.runPhase(list, e.phase1Fn)
+
+	// Phase 2: deliver, process, snapshot, diff and quiesce
+	// (sparseProcess), fused per node.
+	e.snapCur, e.snapPrev = e.ringSlots(r)
+	for w := range e.chg {
+		e.chg[w] = e.chg[w][:0]
+		e.drops[w] = e.drops[w][:0]
+	}
+	e.runPhase(list, e.phase2Fn)
+
+	// Fold the per-worker changed shards. Shards are contiguous ascending
+	// ranges of the active list, so concatenation in worker order yields
+	// the same sorted list for every worker count; quiescent-dropped
+	// nodes never change output, so the list matches the dense walk's.
+	changed := e.changed[:0]
+	for w := range e.chg {
+		changed = append(changed, e.chg[w]...)
+	}
+	e.changed = changed
+	e.applyDrops()
+
+	snap := e.snapCur
+	e.round = r
+	info := &e.infos[r%len(e.infos)]
+	*info = RoundInfo{
+		Round: r, Wake: st.Wake, Outputs: snap, Changed: changed,
+		EdgeAdds: adds, EdgeRemoves: removes,
+		Messages: msgs, Bits: bits,
+		eng: e,
+	}
+	return info
+}
+
+// sparseBroadcast is the sparse phase-1 callback: broadcast plus
+// per-sender accounting. len(outbox)·deg sums to exactly the
+// per-receiver delivery count, since every neighbor of a sender is awake
+// and receives the batch (whether or not it is active enough to act on
+// it) — which is what lets phase 2 skip quiescent receivers without
+// perturbing Messages/Bits.
+func (e *Engine) sparseBroadcast(ctx *Ctx, _ int, v graph.NodeID) (int, int64) {
+	if e.quiet[v] > 0 {
+		// Grace fast path: v reported Quiescent with an unchanged output,
+		// so by the terminal contract its Broadcast is forever empty —
+		// skip the call. The outbox may still hold the batch from the
+		// round quiescence was detected and must be emptied.
+		e.outbox[v] = e.outbox[v][:0]
+		return 0, 0
+	}
+	*ctx = Ctx{Node: v, Round: e.stepRound, Seed: e.cfg.Seed}
+	out := e.states[v].Broadcast(ctx, e.outbox[v][:0])
+	e.outbox[v] = out
+	deg := e.adj.Degree(v)
+	var b int64
+	if e.sizer != nil && len(out) > 0 {
+		for i := range out {
+			b += int64(e.sizer.MessageBits(out[i]))
+		}
+		b *= int64(deg)
+	}
+	return len(out) * deg, b
+}
+
+// sparseProcess is the sparse phase-2 callback: deliver, process,
+// snapshot, diff and quiesce, fused per node. Delivery is one pass of
+// appends — each neighbor's outbox header is a random read into a
+// node-indexed array, so a separate sizing pass would double the cache
+// misses; the inbox keeps its high-water capacity across rounds, so the
+// appends stop allocating once the round mix is steady. (Dropped
+// neighbors' outboxes are empty by contract and by applyDrops.)
+func (e *Engine) sparseProcess(ctx *Ctx, w int, v graph.NodeID) (int, int64) {
+	if e.quiet[v] > 0 {
+		// Grace fast path: a quiescent node's output is frozen regardless
+		// of inputs, so delivery and Process are skipped; the node only
+		// propagates its terminal value through the snapshot ring until
+		// every slot holds it and applyDrops retires it. Any edge touch
+		// resets quiet and routes it back through the full path.
+		e.snapCur[v] = e.snapPrev[v]
+		if e.quiet[v]++; int(e.quiet[v]) > e.lag {
+			e.drops[w] = append(e.drops[w], v)
+		}
+		return 0, 0
+	}
+	nbrs := e.adj.Neighbors(v)
+	in := e.inbox[v][:0]
+	for _, u := range nbrs {
+		run := e.outbox[u]
+		for i := range run {
+			in = append(in, Incoming{From: u, M: run[i]})
+		}
+	}
+	e.inbox[v] = in
+	*ctx = Ctx{Node: v, Round: e.stepRound, Seed: e.cfg.Seed}
+	e.states[v].Process(ctx, in, len(nbrs))
+	val := e.states[v].Output()
+	e.snapCur[v] = val
+	old := problems.Bot
+	if e.snapPrev != nil {
+		old = e.snapPrev[v]
+	}
+	if val != old {
+		e.chg[w] = append(e.chg[w], v)
+		e.quiet[v] = 0
+	} else if q := e.quiescer[v]; q != nil && q.Quiescent() {
+		// Drop only after the output has been stable for OutputLag+1
+		// consecutive quiescent rounds, so every snapshot-ring slot — and
+		// therefore Outputs and DelayedOutputs for all future rounds —
+		// already holds the terminal value.
+		if e.quiet[v]++; int(e.quiet[v]) > e.lag {
+			e.drops[w] = append(e.drops[w], v)
+		}
+	} else {
+		e.quiet[v] = 0
+	}
+	return 0, 0
+}
+
+// stepDense plays the round as the pre-sparse reference walk: the graph
+// is materialized eagerly and both phases iterate the full node space,
+// gated on the awake bitmap. It is the differential baseline the sparse
+// plane is tested against, and the honest O(n + m) comparator of the
+// sparse-round benchmarks.
+func (e *Engine) stepDense(r int, st *adversary.Step, adds, removes []graph.EdgeKey) *RoundInfo {
+	g := e.resolver.Materialize()
+
+	// Phase 1: broadcast, with the same per-sender accounting as the
+	// sparse walk.
+	msgs, bits := e.parallelNodes(g, func(ctx *Ctx, _ int, v graph.NodeID) (int, int64) {
+		*ctx = Ctx{Node: v, Round: r, Seed: e.cfg.Seed}
+		out := e.states[v].Broadcast(ctx, e.outbox[v][:0])
+		e.outbox[v] = out
+		deg := g.Degree(v)
+		var b int64
+		if e.sizer != nil && len(out) > 0 {
+			for i := range out {
+				b += int64(e.sizer.MessageBits(out[i]))
+			}
+			b *= int64(deg)
+		}
+		return len(out) * deg, b
+	})
+
+	// Phase 2: deliver, process, snapshot and diff — fused per node so no
+	// serial post-pass remains. Inboxes are sized exactly before filling
+	// (one O(deg) counting pass), then delivery is batched per sender:
+	// each neighbor's outbox lands as one contiguous run written through
+	// a pre-sliced window.
+	snap, prev := e.ringSlots(r)
 	for w := range e.chg {
 		e.chg[w] = e.chg[w][:0]
 	}
-	totalMsgs, totalBits := e.parallelNodes(g, func(ctx *Ctx, w int, v graph.NodeID) (int, int64) {
-		// Size the inbox exactly before filling it: one O(deg) counting
-		// pass replaces the append growth chain with at most one
-		// allocation, and the buffer is reused across rounds. Delivery is
-		// then batched per sender: each neighbor's outbox lands as one
-		// contiguous run written through a pre-sliced window, so the inner
-		// loop carries no append bookkeeping and the From tag is hoisted
-		// per run. (Pre-wrapping sender outboxes into []Incoming was
-		// measured slower: it inflates the scatter-phase source from 24 to
-		// 32 bytes per message, and this phase is bandwidth-bound.)
+	e.parallelNodes(g, func(ctx *Ctx, w int, v graph.NodeID) (int, int64) {
 		need := 0
 		for _, u := range g.Neighbors(v) {
 			need += len(e.outbox[u])
@@ -373,6 +777,9 @@ func (e *Engine) Step() *RoundInfo {
 		pos := 0
 		for _, u := range g.Neighbors(v) {
 			run := e.outbox[u]
+			if len(run) == 0 {
+				continue
+			}
 			dst := in[pos : pos+len(run) : pos+len(run)]
 			for i := range run {
 				dst[i] = Incoming{From: u, M: run[i]}
@@ -391,34 +798,22 @@ func (e *Engine) Step() *RoundInfo {
 		if val != old {
 			e.chg[w] = append(e.chg[w], v)
 		}
-		var bits int64
-		if e.sizer != nil {
-			for i := range in {
-				bits += int64(e.sizer.MessageBits(in[i].M))
-			}
-		}
-		return len(in), bits
+		return 0, 0
 	})
 
-	// Fold the per-worker changed shards. Shards are contiguous ascending
-	// node ranges, so concatenation in worker order yields the same sorted
-	// list for every worker count.
 	changed := e.changed[:0]
 	for w := range e.chg {
 		changed = append(changed, e.chg[w]...)
 	}
 	e.changed = changed
 
-	e.curGraph = g
 	e.round = r
-
-	info := &RoundInfo{
-		Round: r, Graph: g, Wake: st.Wake, Outputs: snap, Changed: changed,
+	info := &e.infos[r%len(e.infos)]
+	*info = RoundInfo{
+		Round: r, Wake: st.Wake, Outputs: snap, Changed: changed,
 		EdgeAdds: adds, EdgeRemoves: removes,
-		Messages: totalMsgs, Bits: totalBits,
-	}
-	for _, fn := range e.observers {
-		fn(info)
+		Messages: msgs, Bits: bits,
+		eng: e, g: g,
 	}
 	return info
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 
@@ -85,6 +86,136 @@ func (e *Engine) parallelNodes(g *graph.Graph, fn phaseFunc) (int, int64) {
 		bits += e.acc[w].bits
 	}
 	return msgs, bits
+}
+
+// runPhase applies fn to every node of the sorted active list and returns
+// the summed accounting — the sparse counterpart of parallelNodes. Nodes
+// on the list are awake by construction, so there is no bitmap gate; the
+// whole round does no work proportional to n. Shards are contiguous
+// list ranges cut by degree weight (listCuts), run on the persistent
+// phasePool workers, and accounting folds at the barrier exactly like
+// parallelNodes, so outputs and totals are bit-identical for every
+// worker count.
+func (e *Engine) runPhase(list []graph.NodeID, fn phaseFunc) (int, int64) {
+	if e.workers <= 1 || len(list) < serialThreshold {
+		// The scratch Ctx lives on the Engine, not the stack: fn is a
+		// dynamic func value, so a local would escape and allocate on
+		// every phase of every round.
+		ctx := &e.sctx
+		var msgs int
+		var bits int64
+		for _, v := range list {
+			m, b := fn(ctx, 0, v)
+			msgs += m
+			bits += b
+		}
+		return msgs, bits
+	}
+	p := e.ensurePool()
+	p.cuts = e.listCuts(list)
+	p.list = list
+	p.fn = fn
+	for _, c := range p.work {
+		c <- struct{}{}
+	}
+	for range p.work {
+		<-p.done
+	}
+	p.list, p.fn = nil, nil
+	var msgs int
+	var bits int64
+	for w := range e.acc {
+		msgs += e.acc[w].msgs
+		bits += e.acc[w].bits
+	}
+	return msgs, bits
+}
+
+// phasePool is the persistent worker set behind runPhase: one goroutine
+// per worker, parked on a channel between phases, so a sharded sparse
+// phase costs only channel operations — no goroutine spawns and no
+// closure allocations per round. The channel sends publish cuts/list/fn
+// to the workers and the dones publish the accounting back (channel
+// happens-before on both edges), preserving the determinism contract:
+// sharding is identical to spawning fresh goroutines.
+//
+// The pool must not keep the Engine reachable while idle — fn (which
+// captures the engine) and list are cleared after every phase, and the
+// remaining fields alias engine-owned backing arrays without referencing
+// the Engine itself — so an abandoned Engine is collectable and its
+// finalizer shuts the workers down by closing the work channels.
+type phasePool struct {
+	acc  []workerAcc
+	cuts []int
+	list []graph.NodeID
+	fn   phaseFunc
+	work []chan struct{}
+	done chan struct{}
+}
+
+func (e *Engine) ensurePool() *phasePool {
+	if e.pool == nil {
+		p := &phasePool{
+			acc:  e.acc,
+			work: make([]chan struct{}, e.workers),
+			done: make(chan struct{}, e.workers),
+		}
+		for w := range p.work {
+			p.work[w] = make(chan struct{}, 1)
+			go p.worker(w)
+		}
+		e.pool = p
+		runtime.SetFinalizer(e, func(e *Engine) { e.pool.shutdown() })
+	}
+	return e.pool
+}
+
+func (p *phasePool) shutdown() {
+	for _, c := range p.work {
+		close(c)
+	}
+}
+
+func (p *phasePool) worker(w int) {
+	var ctx Ctx
+	for range p.work[w] {
+		lo, hi := p.cuts[w], p.cuts[w+1]
+		var msgs int
+		var bits int64
+		for _, v := range p.list[lo:hi] {
+			m, b := p.fn(&ctx, w, v)
+			msgs += m
+			bits += b
+		}
+		p.acc[w].msgs = msgs
+		p.acc[w].bits = bits
+		p.done <- struct{}{}
+	}
+}
+
+// listCuts cuts the active list into one contiguous index range per
+// worker with near-equal total weight, where node v weighs deg(v)+1 in
+// the current dynamic adjacency. One pass over the list — O(active +
+// workers) — replaces the dense path's O(n)-prefix-backed binary
+// searches; the cuts slice is reused across rounds.
+func (e *Engine) listCuts(list []graph.NodeID) []int {
+	total := 0
+	for _, v := range list {
+		total += e.adj.Degree(v) + 1
+	}
+	cuts := append(e.cuts[:0], 0)
+	acc, i := 0, 0
+	for w := 1; w < e.workers; w++ {
+		target := total * w / e.workers
+		for i < len(list) && acc < target {
+			acc += e.adj.Degree(list[i]) + 1
+			i++
+		}
+		cuts = append(cuts, i)
+	}
+	cuts = append(cuts, len(list))
+	e.cuts = cuts
+	return cuts
 }
 
 // shardBounds cuts [0, n) into one contiguous node range per worker with

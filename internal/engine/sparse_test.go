@@ -1,0 +1,208 @@
+package engine_test
+
+// Sparse ≡ dense equivalence: the sparse activity plane (the default) must
+// be observably indistinguishable from the Config{Dense: true} reference
+// walk — bit-identical outputs, changed feeds, topology deltas and
+// message/bit accounting, every round, for every worker count. The matrix
+// crosses the four adversary schedules used across the repo's tests with
+// the two combined framework algorithms (never quiescent: exercises the
+// pure active-set walk) and standalone DMis (terminally quiescent
+// Dominated nodes: exercises the drop/grace/revival machinery). The -race
+// CI job runs this file, so the sharded sparse phases are raced too.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"dynlocal/internal/adversary"
+	"dynlocal/internal/algos/coloring"
+	"dynlocal/internal/algos/mis"
+	"dynlocal/internal/engine"
+	"dynlocal/internal/graph"
+	"dynlocal/internal/prf"
+	"dynlocal/internal/problems"
+)
+
+type fullTrace struct {
+	outputs  [][]problems.Value
+	changed  [][]graph.NodeID
+	adds     [][]graph.EdgeKey
+	removes  [][]graph.EdgeKey
+	messages []int
+	bits     []int64
+}
+
+func runTrace(n, workers, rounds int, dense bool, adv adversary.Adversary, algo engine.Algorithm) fullTrace {
+	e := engine.New(engine.Config{N: n, Seed: 77, Workers: workers, Dense: dense}, adv, algo)
+	var tr fullTrace
+	e.OnRound(func(info *engine.RoundInfo) {
+		tr.outputs = append(tr.outputs, append([]problems.Value(nil), info.Outputs...))
+		tr.changed = append(tr.changed, append([]graph.NodeID(nil), info.Changed...))
+		tr.adds = append(tr.adds, append([]graph.EdgeKey(nil), info.EdgeAdds...))
+		tr.removes = append(tr.removes, append([]graph.EdgeKey(nil), info.EdgeRemoves...))
+		tr.messages = append(tr.messages, info.Messages)
+		tr.bits = append(tr.bits, info.Bits)
+	})
+	e.Run(rounds)
+	return tr
+}
+
+func diffFullTraces(t *testing.T, label string, dense, sparse fullTrace) {
+	t.Helper()
+	for r := range dense.outputs {
+		if dense.messages[r] != sparse.messages[r] {
+			t.Fatalf("%s: round %d messages dense=%d sparse=%d", label, r+1, dense.messages[r], sparse.messages[r])
+		}
+		if dense.bits[r] != sparse.bits[r] {
+			t.Fatalf("%s: round %d bits dense=%d sparse=%d", label, r+1, dense.bits[r], sparse.bits[r])
+		}
+		for v := range dense.outputs[r] {
+			if dense.outputs[r][v] != sparse.outputs[r][v] {
+				t.Fatalf("%s: round %d node %d output dense=%d sparse=%d",
+					label, r+1, v, dense.outputs[r][v], sparse.outputs[r][v])
+			}
+		}
+		for name, pair := range map[string][2][]graph.NodeID{
+			"changed": {dense.changed[r], sparse.changed[r]},
+		} {
+			if len(pair[0]) != len(pair[1]) {
+				t.Fatalf("%s: round %d %s dense=%v sparse=%v", label, r+1, name, pair[0], pair[1])
+			}
+			for i := range pair[0] {
+				if pair[0][i] != pair[1][i] {
+					t.Fatalf("%s: round %d %s dense=%v sparse=%v", label, r+1, name, pair[0], pair[1])
+				}
+			}
+		}
+		for name, pair := range map[string][2][]graph.EdgeKey{
+			"adds":    {dense.adds[r], sparse.adds[r]},
+			"removes": {dense.removes[r], sparse.removes[r]},
+		} {
+			if len(pair[0]) != len(pair[1]) {
+				t.Fatalf("%s: round %d %s sizes diverge", label, r+1, name)
+			}
+			for i := range pair[0] {
+				if pair[0][i] != pair[1][i] {
+					t.Fatalf("%s: round %d %s diverge", label, r+1, name)
+				}
+			}
+		}
+	}
+}
+
+func TestSparseMatchesDense(t *testing.T) {
+	const n = 1024 // above the serial threshold: Workers=4 really shards
+	const rounds = 20
+	mkBase := func(seed uint64) *graph.Graph {
+		return graph.GNP(n, 6.0/float64(n), prf.NewStream(seed, 0, 0, prf.PurposeWorkload))
+	}
+	schedules := []struct {
+		name string
+		mk   func(seed uint64) adversary.Adversary
+	}{
+		{"churn", func(seed uint64) adversary.Adversary {
+			return &adversary.Churn{Base: mkBase(seed), Add: n / 24, Del: n / 24, Seed: seed + 1}
+		}},
+		{"edge-markov", func(seed uint64) adversary.Adversary {
+			return &adversary.EdgeMarkov{Footprint: mkBase(seed), POn: 0.3, POff: 0.3, Seed: seed + 1}
+		}},
+		{"local-static", func(seed uint64) adversary.Adversary {
+			base := mkBase(seed)
+			return &adversary.LocalStatic{
+				Inner:     &adversary.Churn{Base: base, Add: n / 24, Del: n / 24, Seed: seed + 1},
+				Base:      base,
+				Protected: []graph.NodeID{3, n / 2},
+				Alpha:     2,
+			}
+		}},
+		{"staggered-wake", func(seed uint64) adversary.Adversary {
+			return &adversary.Wakeup{
+				Inner:    &adversary.Churn{Base: mkBase(seed), Add: n / 24, Del: n / 24, Seed: seed + 1},
+				Schedule: adversary.StaggeredSchedule(n, n/8),
+			}
+		}},
+	}
+	algos := []struct {
+		name string
+		mk   func() engine.Algorithm
+	}{
+		{"mis", func() engine.Algorithm { return mis.NewMIS(n) }},
+		{"coloring", func() engine.Algorithm { return coloring.NewColoring(n) }},
+		// Standalone DMis is the one algorithm with an engine.Quiescer:
+		// confirmed Dominated nodes leave the active set, so this arm
+		// proves dropped and revived nodes stay unobservable.
+		{"dmis", func() engine.Algorithm { return mis.NewDynamic(n) }},
+	}
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for si, sc := range schedules {
+		for _, ac := range algos {
+			t.Run(sc.name+"/"+ac.name, func(t *testing.T) {
+				seed := uint64(31 + si)
+				dense := runTrace(n, 1, rounds, true, sc.mk(seed), ac.mk())
+				for _, w := range workerCounts {
+					sparse := runTrace(n, w, rounds, false, sc.mk(seed), ac.mk())
+					diffFullTraces(t, fmt.Sprintf("workers=%d", w), dense, sparse)
+				}
+			})
+		}
+	}
+}
+
+// qcAlgo decides instantly and is quiescent from its first output: each
+// node's first Process sets output 1, then Broadcast stays empty and the
+// output never changes. Per-node callback counters (node-owned, so safe
+// under sharding) make the engine's drop behavior directly observable.
+type qcAlgo struct{ calls []int32 }
+
+func (a *qcAlgo) Name() string { return "qc" }
+func (a *qcAlgo) NewNode(v graph.NodeID) engine.NodeProc {
+	return &qcNode{calls: &a.calls[v]}
+}
+
+type qcNode struct {
+	calls *int32
+	out   problems.Value
+}
+
+func (p *qcNode) Start(*engine.Ctx, problems.Value) {}
+func (p *qcNode) Broadcast(ctx *engine.Ctx, buf []engine.SubMsg) []engine.SubMsg {
+	return buf
+}
+func (p *qcNode) Process(ctx *engine.Ctx, in []engine.Incoming, deg int) {
+	*p.calls++
+	p.out = 1
+}
+func (p *qcNode) Output() problems.Value { return p.out }
+func (p *qcNode) Quiescent() bool        { return p.out != problems.Bot }
+
+// TestSparseQuiescentDropsAreFree pins the tentpole's point directly: on
+// a static topology a terminally quiescent node stops getting callbacks
+// the moment quiescence is detected — exactly 2 Process calls per node
+// however long the run (the deciding round and the detection round; the
+// grace rounds that fill the snapshot ring only copy its frozen value) —
+// while its output stays exact in every later round.
+func TestSparseQuiescentDropsAreFree(t *testing.T) {
+	const n = 512
+	const lag = 2
+	g := graph.GNP(n, 8.0/float64(n), prf.NewStream(5, 0, 0, prf.PurposeWorkload))
+	algo := &qcAlgo{calls: make([]int32, n)}
+	e := engine.New(engine.Config{N: n, Seed: 9, OutputLag: lag}, adversary.Static{G: g}, algo)
+	var last *engine.RoundInfo
+	e.OnRound(func(info *engine.RoundInfo) { last = info })
+	e.Run(40)
+	for v := 0; v < n; v++ {
+		// Round 1 decides (output change), round 2 detects quiescence;
+		// the grace rounds filling the snapshot ring skip Process
+		// entirely, then the node drops.
+		if got, want := algo.calls[v], int32(2); got != want {
+			t.Fatalf("node %d processed %d rounds, want %d (drop after grace)", v, got, want)
+		}
+		if last.Outputs[v] != 1 {
+			t.Fatalf("node %d output %d after drop, want 1", v, last.Outputs[v])
+		}
+	}
+	if last.Messages != 0 {
+		t.Fatalf("steady-state round delivers %d messages, want 0", last.Messages)
+	}
+}

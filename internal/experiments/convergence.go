@@ -68,7 +68,7 @@ func E02ConflictResolution(p Params) ConflictResolutionResult {
 	window := dyngraph.NewWindow(combined.T1, n)
 	var durations []float64
 	e.OnRound(func(info *engine.RoundInfo) {
-		window.Observe(info.Graph, info.Wake)
+		window.Observe(info.Graph(), info.Wake)
 		// Track resolution of injected conflicts.
 		for _, in := range inj.Injections {
 			if _, done := resolved[in.Edge]; done {
@@ -81,7 +81,7 @@ func E02ConflictResolution(p Params) ConflictResolutionResult {
 			}
 		}
 		// Stale conflicts: equal colors across an intersection edge.
-		for _, ck := range verify.ConflictEdges(info.Graph, info.Outputs) {
+		for _, ck := range verify.ConflictEdges(info.Graph(), info.Outputs) {
 			u, v := ck.Nodes()
 			if window.InIntersection(u, v) {
 				res.StaleConflictRound++

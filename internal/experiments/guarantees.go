@@ -51,9 +51,9 @@ func E05MISEdgeDecay(p Params) []DecayResult {
 			var hs []int
 			e.OnRound(func(info *engine.RoundInfo) {
 				if inter == nil {
-					inter = info.Graph
+					inter = info.Graph()
 				} else {
-					inter = graph.Intersection(inter, info.Graph)
+					inter = graph.Intersection(inter, info.Graph())
 				}
 				hs = append(hs, undecidedEdgeCount(inter, info.Outputs))
 			})
@@ -183,7 +183,7 @@ func E08ConcatEndToEnd(p Params) []EndToEndResult {
 			chk := verify.NewTDynamic(pc, combined.T1, n)
 			res := EndToEndResult{Problem: prob, Adversary: kind, N: n, Window: combined.T1}
 			e.OnRound(func(info *engine.RoundInfo) {
-				rep := chk.ObserveDeltas(info.EdgeAdds, info.EdgeRemoves, info.Wake, info.Outputs, info.Changed)
+				rep := chk.Feed(info.Delta())
 				if !rep.Valid() {
 					res.InvalidRounds++
 					res.Violations += len(rep.PackingViolations) + len(rep.CoverViolations) + rep.BotCore
@@ -246,7 +246,7 @@ func E09Baselines(p Params) []BaselineResult {
 			invalid, counted := 0, 0
 			changes := 0
 			e.OnRound(func(info *engine.RoundInfo) {
-				rep := chk.ObserveDeltas(info.EdgeAdds, info.EdgeRemoves, info.Wake, info.Outputs, info.Changed)
+				rep := chk.Feed(info.Delta())
 				if info.Round > warmup {
 					counted++
 					if !rep.Valid() {
@@ -331,7 +331,7 @@ func E10WindowSweep(p Params) []WindowSweepResult {
 		invalid, counted, botRounds := 0, 0, 0
 		warmup := 2 * def
 		e.OnRound(func(info *engine.RoundInfo) {
-			rep := chk.ObserveDeltas(info.EdgeAdds, info.EdgeRemoves, info.Wake, info.Outputs, info.Changed)
+			rep := chk.Feed(info.Delta())
 			if info.Round > warmup {
 				counted++
 				if !rep.Valid() {
@@ -383,7 +383,7 @@ func E11DeltaWindows(p Params) []DeltaWindowResult {
 	rounds := 0
 	warmup := 2 * combined.T1
 	e.OnRound(func(info *engine.RoundInfo) {
-		fw.Observe(info.Graph, info.Wake)
+		fw.Observe(info.Graph(), info.Wake)
 		if info.Round <= warmup {
 			return
 		}
@@ -567,7 +567,7 @@ func E14AsyncWakeup(p Params) []AsyncWakeupResult {
 			res := AsyncWakeupResult{Schedule: sc.name + "/" + prob, N: n}
 			var lastCore int
 			e.OnRound(func(info *engine.RoundInfo) {
-				rep := chk.ObserveDeltas(info.EdgeAdds, info.EdgeRemoves, info.Wake, info.Outputs, info.Changed)
+				rep := chk.Feed(info.Delta())
 				if !rep.Valid() {
 					res.InvalidRounds++
 				}

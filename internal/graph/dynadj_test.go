@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"slices"
+	"testing"
+)
+
+// TestDynAdjTracksPatcher folds the same random diff schedule into a
+// DynAdj and a Patcher and checks rows, degrees and edge counts agree
+// every round.
+func TestDynAdjTracksPatcher(t *testing.T) {
+	const n = 64
+	const rounds = 40
+	adj := NewDynAdj(n)
+	p := NewPatcher(n)
+	cur := p.Current()
+	present := make(map[EdgeKey]bool)
+	rng := uint64(1)
+	next := func(m int) int { // tiny deterministic LCG, enough for a schedule
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(m))
+	}
+	for r := 0; r < rounds; r++ {
+		var adds, removes []EdgeKey
+		picked := make(map[EdgeKey]bool)
+		for i := 0; i < 12; i++ {
+			u, v := NodeID(next(n)), NodeID(next(n))
+			if u == v {
+				continue
+			}
+			k := MakeEdgeKey(u, v)
+			if picked[k] { // an edge may appear on only one side of a diff
+				continue
+			}
+			picked[k] = true
+			if present[k] {
+				removes = append(removes, k)
+				delete(present, k)
+			} else {
+				adds = append(adds, k)
+				present[k] = true
+			}
+		}
+		slices.Sort(adds)
+		adds = slices.Compact(adds)
+		slices.Sort(removes)
+		removes = slices.Compact(removes)
+		adj.Apply(adds, removes)
+		cur = p.Apply(adds, removes)
+		if adj.M() != cur.M() {
+			t.Fatalf("round %d: DynAdj m=%d, Patcher m=%d", r, adj.M(), cur.M())
+		}
+		for v := NodeID(0); int(v) < n; v++ {
+			if !slices.Equal(adj.Neighbors(v), cur.Neighbors(v)) {
+				t.Fatalf("round %d node %d: rows diverge: %v vs %v",
+					r, v, adj.Neighbors(v), cur.Neighbors(v))
+			}
+			if adj.Degree(v) != cur.Degree(v) {
+				t.Fatalf("round %d node %d: degree %d vs %d", r, v, adj.Degree(v), cur.Degree(v))
+			}
+		}
+	}
+}
+
+func TestDynAdjPanicsOnBadDeltas(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mk := func() *DynAdj {
+		a := NewDynAdj(8)
+		a.Apply([]EdgeKey{MakeEdgeKey(0, 1), MakeEdgeKey(2, 3)}, nil)
+		return a
+	}
+	mustPanic("add present", func() { mk().Apply([]EdgeKey{MakeEdgeKey(0, 1)}, nil) })
+	mustPanic("remove absent", func() { mk().Apply(nil, []EdgeKey{MakeEdgeKey(0, 2)}) })
+	mustPanic("adds unsorted", func() {
+		mk().Apply([]EdgeKey{MakeEdgeKey(4, 5), MakeEdgeKey(1, 2)}, nil)
+	})
+	mustPanic("removes unsorted", func() {
+		mk().Apply(nil, []EdgeKey{MakeEdgeKey(2, 3), MakeEdgeKey(0, 1)})
+	})
+	mustPanic("out of universe", func() { mk().Apply([]EdgeKey{MakeEdgeKey(7, 8)}, nil) })
+}

@@ -81,9 +81,9 @@ func TestTDynamicEngineChangedFeedMatchesOracle(t *testing.T) {
 				dlt := NewTDynamic(ac.pc, T1, n)
 				orc := NewTDynamicOracle(ac.pc, T1, n)
 				e.OnRound(func(info *engine.RoundInfo) {
-					repInc := inc.ObserveChanged(info.Graph, info.Wake, info.Outputs, info.Changed)
-					repDlt := dlt.ObserveDeltas(info.EdgeAdds, info.EdgeRemoves, info.Wake, info.Outputs, info.Changed)
-					repOrc := orc.Observe(info.Graph, info.Wake, info.Outputs)
+					repInc := inc.ObserveChanged(info.Graph(), info.Wake, info.Outputs, info.Changed)
+					repDlt := dlt.Feed(info.Delta())
+					repOrc := orc.Observe(info.Graph(), info.Wake, info.Outputs)
 					if !reflect.DeepEqual(repInc, repOrc) {
 						t.Fatalf("round %d: reports diverge\nengine-feed %+v\noracle      %+v",
 							info.Round, repInc, repOrc)

@@ -10,21 +10,21 @@
 //     Theorem 1.1(2)): whenever the α-ball of a node has been static for
 //     `Wait` rounds, its output must not change.
 //
-// TDynamic is delta-driven end to end. Its fastest feed, ObserveDeltas,
-// consumes the engine's round-delta plane whole: the sorted topology
-// diff (engine.RoundInfo.EdgeAdds/EdgeRemoves) goes into a delta-fed
+// TDynamic is delta-driven end to end. Its primary feed, Feed, consumes
+// the engine's consolidated round-delta view (engine.RoundDelta, from
+// RoundInfo.Delta) whole: the sorted topology diff goes into a delta-fed
 // sliding window (dyngraph.Window.ObserveEdgeDelta) and the changed-node
-// feed (RoundInfo.Changed) into the problems.Tracker violation
-// maintainers, so a verified round costs O((diff+changes)·Δ) — nothing
-// scales with n or |E_r|, no CSR graph is ever materialized and no edge
-// or output scan runs. ObserveChanged is the graph-fed variant (the
-// window recovers the diff with one O(|E_r|) merge) and Observe
-// additionally self-computes the output diff with an O(n) scan — the
-// fallbacks for callers without one or both feeds. NewTDynamicOracle
-// retains the materializing CheckFull path; all feeds are
-// property-tested — including against a real engine run — to produce
-// bit-identical TDynamicReports, and the oracle doubles as the benchmark
-// baseline.
+// feed into the problems.Tracker violation maintainers, so a verified
+// round costs O((diff+changes)·Δ) — nothing scales with n or |E_r|, no
+// CSR graph is ever materialized and no edge or output scan runs.
+// ObserveDeltas is the same path with the delta unpacked positionally
+// (deprecated), ObserveChanged is the graph-fed variant (the window
+// recovers the diff with one O(|E_r|) merge) and Observe additionally
+// self-computes the output diff with an O(n) scan — the fallbacks for
+// callers without one or both feeds. NewTDynamicOracle retains the
+// materializing CheckFull path; all feeds are property-tested —
+// including against a real engine run — to produce bit-identical
+// TDynamicReports, and the oracle doubles as the benchmark baseline.
 //
 // Input-buffer rules follow the producers' pooling contracts: every
 // slice argument (graph, diff, wake, outputs, changed) is only read
@@ -38,6 +38,7 @@ package verify
 
 import (
 	"dynlocal/internal/dyngraph"
+	"dynlocal/internal/engine"
 	"dynlocal/internal/graph"
 	"dynlocal/internal/problems"
 )
@@ -110,8 +111,8 @@ func (c *TDynamic) Window() *dyngraph.Window { return c.window }
 // checks the T-dynamic condition. out must cover the full node universe.
 //
 // Observe computes the round-over-round output diff itself with an O(n)
-// scan; callers driven by the engine should pass RoundInfo.Changed to
-// ObserveChanged instead, which needs no scan.
+// scan; callers driven by the engine should use Feed instead, which
+// needs neither a scan nor a graph.
 func (c *TDynamic) Observe(g *graph.Graph, wake []graph.NodeID, out []problems.Value) TDynamicReport {
 	if c.oracle {
 		return c.observeOracle(g, wake, out)
@@ -141,22 +142,36 @@ func (c *TDynamic) ObserveChanged(g *graph.Graph, wake []graph.NodeID, out []pro
 	return c.applyRound(c.window.ObserveDelta(g, wake), out, changed)
 }
 
-// ObserveDeltas is the fully delta-fed checking path: the round's
-// topology arrives as the sorted edge diff against the previous round
-// (exactly engine.RoundInfo.EdgeAdds/EdgeRemoves) and the output diff as
+// Feed is the fully delta-fed checking path and the one engine-driven
+// callers should use: it ingests one round's consolidated delta view —
+// exactly engine.RoundInfo.Delta() — whose topology arrives as the
+// sorted edge diff against the previous round and whose output diff is
 // the changed-node list, under the same tolerance as ObserveChanged. No
 // graph is needed — the sliding window is maintained from the diff alone
 // (dyngraph.Window.ObserveEdgeDelta) — so the round costs
-// O((|adds|+|removes|+|changed|)·Δ), independent of n and |E_r|. A
-// checker must stay on one topology feed for its lifetime: mixing
-// ObserveDeltas with Observe/ObserveChanged panics (the window's scan
-// feed state is not maintained by the delta feed). Not available on the
-// oracle checker, which needs full graphs.
-func (c *TDynamic) ObserveDeltas(adds, removes []graph.EdgeKey, wake []graph.NodeID, out []problems.Value, changed []graph.NodeID) TDynamicReport {
+// O((|adds|+|removes|+|changed|)·Δ), independent of n and |E_r|. The
+// delta's slices are only read during the call, so the engine's pooled
+// buffers pass straight through. A checker must stay on one topology
+// feed for its lifetime: mixing Feed with Observe/ObserveChanged panics
+// (the window's scan feed state is not maintained by the delta feed).
+// Not available on the oracle checker, which needs full graphs.
+func (c *TDynamic) Feed(d engine.RoundDelta) TDynamicReport {
 	if c.oracle {
-		panic("verify: ObserveDeltas on the materializing oracle checker — use Observe")
+		panic("verify: Feed on the materializing oracle checker — use Observe")
 	}
-	return c.applyRound(c.window.ObserveEdgeDelta(adds, removes, wake), out, changed)
+	return c.applyRound(c.window.ObserveEdgeDelta(d.EdgeAdds, d.EdgeRemoves, d.Wake), d.Outputs, d.Changed)
+}
+
+// ObserveDeltas is Feed with the round delta unpacked into positional
+// arguments.
+//
+// Deprecated: use Feed with engine.RoundInfo.Delta(), which carries the
+// same five fields as one value.
+func (c *TDynamic) ObserveDeltas(adds, removes []graph.EdgeKey, wake []graph.NodeID, out []problems.Value, changed []graph.NodeID) TDynamicReport {
+	return c.Feed(engine.RoundDelta{
+		EdgeAdds: adds, EdgeRemoves: removes,
+		Wake: wake, Outputs: out, Changed: changed,
+	})
 }
 
 // applyRound folds one round's window delta and output diff into the

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dynlocal/internal/adversary"
+	"dynlocal/internal/engine"
 	"dynlocal/internal/graph"
 	"dynlocal/internal/prf"
 	"dynlocal/internal/problems"
@@ -211,6 +212,7 @@ func TestTDynamicIncrementalMatchesOracle(t *testing.T) {
 				inc := NewTDynamic(pcase.pc, T, n)
 				fed := NewTDynamic(pcase.pc, T, n)
 				dlt := NewTDynamic(pcase.pc, T, n)
+				fdr := NewTDynamic(pcase.pc, T, n)
 				orc := NewTDynamicOracle(pcase.pc, T, n)
 				view := &advView{n: n, prev: graph.Empty(n), awake: make([]bool, n)}
 				out := make([]problems.Value, n)
@@ -236,6 +238,10 @@ func TestTDynamicIncrementalMatchesOracle(t *testing.T) {
 					repInc := inc.Observe(g, st.Wake, out)
 					repFed := fed.ObserveChanged(g, st.Wake, out, changed)
 					repDlt := dlt.ObserveDeltas(adds, removes, st.Wake, out, changed)
+					repFdr := fdr.Feed(engine.RoundDelta{
+						Round: r, EdgeAdds: adds, EdgeRemoves: removes,
+						Wake: st.Wake, Outputs: out, Changed: changed,
+					})
 					repOrc := orc.Observe(g.Clone(), st.Wake, out)
 					if !reflect.DeepEqual(repInc, repOrc) {
 						t.Fatalf("round %d: reports diverge\nincremental %+v\noracle      %+v",
@@ -248,6 +254,10 @@ func TestTDynamicIncrementalMatchesOracle(t *testing.T) {
 					if !reflect.DeepEqual(repDlt, repOrc) {
 						t.Fatalf("round %d: reports diverge\ndelta-feed %+v\noracle     %+v",
 							r, repDlt, repOrc)
+					}
+					if !reflect.DeepEqual(repFdr, repOrc) {
+						t.Fatalf("round %d: reports diverge\nFeed   %+v\noracle %+v",
+							r, repFdr, repOrc)
 					}
 					view.prev = g
 				}
@@ -266,6 +276,11 @@ func TestTDynamicIncrementalMatchesOracle(t *testing.T) {
 				if rd != ro || id != io || pd != po || cd != co || bd != bo {
 					t.Fatalf("totals diverge: delta-feed (%d %d %d %d %d) oracle (%d %d %d %d %d)",
 						rd, id, pd, cd, bd, ro, io, po, co, bo)
+				}
+				rr, ir, pr, cr, br := fdr.Totals()
+				if rr != ro || ir != io || pr != po || cr != co || br != bo {
+					t.Fatalf("totals diverge: Feed (%d %d %d %d %d) oracle (%d %d %d %d %d)",
+						rr, ir, pr, cr, br, ro, io, po, co, bo)
 				}
 			})
 		}

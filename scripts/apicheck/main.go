@@ -1,0 +1,119 @@
+// Command apicheck is the CI gate on the library's exported surface. It
+// renders the public API of package dynlocal with go doc -all, normalizes
+// it down to declarations only, and compares the result against the
+// checked-in snapshot docs/api-surface.txt. Any drift — an export added,
+// removed or re-signatured without updating the snapshot — fails the
+// build, which turns every API change into an explicit, reviewable diff.
+//
+// Run it from the repo root:
+//
+//	go run ./scripts/apicheck          # verify, exit 1 on drift
+//	go run ./scripts/apicheck -update  # rewrite docs/api-surface.txt
+//
+// Normalization keeps section headers (CONSTANTS, FUNCTIONS, TYPES, ...)
+// and declaration lines, and drops the package comment, per-declaration
+// doc prose (the 4-space-indented text go doc emits), comment-only lines
+// and blanks. Doc wording can therefore improve freely; only the
+// signatures are pinned.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+const snapshotPath = "docs/api-surface.txt"
+
+var sectionHeaders = map[string]bool{
+	"CONSTANTS": true,
+	"VARIABLES": true,
+	"FUNCTIONS": true,
+	"TYPES":     true,
+}
+
+func main() {
+	update := flag.Bool("update", false, "rewrite "+snapshotPath+" instead of verifying it")
+	flag.Parse()
+
+	out, err := exec.Command("go", "doc", "-all", ".").Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apicheck: go doc -all .: %v\n", err)
+		os.Exit(1)
+	}
+	got := normalize(string(out))
+
+	if *update {
+		if err := os.WriteFile(snapshotPath, []byte(got), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "apicheck: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("apicheck: wrote %s (%d lines)\n", snapshotPath, strings.Count(got, "\n"))
+		return
+	}
+
+	want, err := os.ReadFile(snapshotPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apicheck: %v\nRun: go run ./scripts/apicheck -update\n", err)
+		os.Exit(1)
+	}
+	if got == string(want) {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "apicheck: exported API surface drifted from %s\n\n", snapshotPath)
+	reportDiff(strings.Split(strings.TrimRight(string(want), "\n"), "\n"),
+		strings.Split(strings.TrimRight(got, "\n"), "\n"))
+	fmt.Fprintf(os.Stderr, "\nIf the change is intentional: go run ./scripts/apicheck -update\n")
+	os.Exit(1)
+}
+
+// normalize reduces go doc -all output to the declaration surface: the
+// package clause is skipped until the first section header, and from
+// there every blank, comment-only or 4-space-indented prose line is
+// dropped.
+func normalize(doc string) string {
+	var b strings.Builder
+	inBody := false
+	for _, line := range strings.Split(doc, "\n") {
+		if !inBody {
+			inBody = sectionHeaders[line]
+			if !inBody {
+				continue
+			}
+		}
+		if line == "" || strings.HasPrefix(line, "    ") {
+			continue
+		}
+		if strings.HasPrefix(strings.TrimLeft(line, "\t"), "//") {
+			continue
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// reportDiff prints the set difference of the two line lists — enough to
+// see what was added or removed without a real diff algorithm.
+func reportDiff(want, got []string) {
+	wantSet := make(map[string]int, len(want))
+	for _, l := range want {
+		wantSet[l]++
+	}
+	gotSet := make(map[string]int, len(got))
+	for _, l := range got {
+		gotSet[l]++
+	}
+	for _, l := range want {
+		if gotSet[l] == 0 {
+			fmt.Fprintf(os.Stderr, "  - %s\n", l)
+		}
+	}
+	for _, l := range got {
+		if wantSet[l] == 0 {
+			fmt.Fprintf(os.Stderr, "  + %s\n", l)
+		}
+	}
+}
