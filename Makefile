@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt fmt-check vet docscheck apicheck check
+.PHONY: all build test race bench fmt fmt-check vet lint docscheck apicheck check
 
 all: check
 
@@ -31,6 +31,12 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# Contract gate: loan, determinism and sortedness analyzers over the
+# whole tree, tests included. See docs/linting.md for the annotation
+# grammar and suppression rules.
+lint:
+	$(GO) run ./scripts/dynlint ./...
+
 # Docs gate: package comments everywhere, markdown links resolve.
 docscheck:
 	$(GO) run ./scripts/docscheck
@@ -41,4 +47,4 @@ docscheck:
 apicheck:
 	$(GO) run ./scripts/apicheck
 
-check: build fmt-check vet docscheck apicheck test
+check: build fmt-check vet lint docscheck apicheck test

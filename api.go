@@ -51,8 +51,8 @@ type (
 	// EngineConfig parameterizes a simulation.
 	EngineConfig = engine.Config
 	// RoundInfo is the observer view of a completed round. Its Outputs,
-	// Changed, EdgeAdds and EdgeRemoves slices are pooled (Retain deep-
-	// copies a round to hold it longer); Changed plus EdgeAdds/EdgeRemoves
+	// Changed, Wake, EdgeAdds and EdgeRemoves slices are pooled (Retain
+	// deep-copies a round to hold it longer); Changed plus EdgeAdds/EdgeRemoves
 	// form the engine's round-delta plane, consolidated by Delta and
 	// consumed whole by TDynamicChecker.Feed.
 	RoundInfo = engine.RoundInfo

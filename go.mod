@@ -1,3 +1,5 @@
 module dynlocal
 
 go 1.22
+
+require golang.org/x/tools v0.24.0 // dynlint -xtools passes only; gated behind the dynlint_xtools build tag

@@ -63,7 +63,10 @@ import (
 // EdgeAdds/EdgeRemoves describe G_r as a sorted diff against the
 // adversary's previous round (round 1 diffs against the empty graph G_0).
 type Step struct {
-	G    *graph.Graph   // communication graph G_r; nil for a delta step
+	// G is the communication graph G_r; nil for a delta step. It may
+	// alias pooled resolver/patcher arenas valid for the round.
+	//dynlint:loan
+	G    *graph.Graph
 	Wake []graph.NodeID // nodes waking up at the start of round r
 	// EdgeAdds and EdgeRemoves are the sorted edge diff of a delta step:
 	// strictly ascending canonical keys, every added edge absent from and
@@ -71,6 +74,8 @@ type Step struct {
 	// when G is non-nil (the graph is authoritative; Resolver synthesizes
 	// the diff). The slices may alias adversary-owned buffers reused on
 	// the next Step.
+	//dynlint:loan
+	//dynlint:sorted
 	EdgeAdds, EdgeRemoves []graph.EdgeKey
 }
 
@@ -123,7 +128,12 @@ type Adversary interface {
 // last materialized graph, i.e. O(m) however many rounds pass between
 // materializations.
 type Resolver struct {
-	p      *graph.Patcher
+	p *graph.Patcher
+	// prev holds the previous round's graph, which may alias a pooled
+	// patcher arena: a sanctioned loan-to-loan handoff — the patcher's
+	// double buffering keeps it valid exactly as long as the resolver
+	// needs it.
+	//dynlint:loan
 	prev   *graph.Graph
 	addBuf []graph.EdgeKey
 	remBuf []graph.EdgeKey
@@ -153,6 +163,8 @@ func NewResolver(n int) *Resolver {
 // passed through; for a materialized step the diff is synthesized. The
 // same-graph fast path (adversaries like Static replay one immutable
 // graph) costs O(1).
+//
+//dynlint:loan
 func (r *Resolver) Resolve(st *Step) (g *graph.Graph, adds, removes []graph.EdgeKey) {
 	if st.G == nil {
 		r.p.Reset(r.prev)
@@ -179,6 +191,8 @@ func (r *Resolver) Resolve(st *Step) (g *graph.Graph, adds, removes []graph.Edge
 // current graph is produced on demand by Materialize. The returned
 // slices follow the same lifetime as Resolve's: valid until the next
 // Observe. Observe and Resolve must not be mixed on one Resolver.
+//
+//dynlint:loan
 func (r *Resolver) Observe(st *Step) (adds, removes []graph.EdgeKey) {
 	if st.G == nil {
 		for _, k := range st.EdgeAdds {

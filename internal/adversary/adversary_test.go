@@ -1,6 +1,7 @@
 package adversary
 
 import (
+	"slices"
 	"testing"
 
 	"dynlocal/internal/dyngraph"
@@ -15,8 +16,10 @@ import (
 // Resolved graphs are pooled (valid for the current and next play); tests
 // that retain one longer Clone it.
 type fakeView struct {
-	round   int
-	n       int
+	round int
+	n     int
+	// prev may alias a pooled resolver arena, exactly like Resolver.prev.
+	//dynlint:loan
 	prev    *graph.Graph
 	awake   []bool
 	delayed []problems.Value
@@ -258,6 +261,34 @@ func TestConflictInjectorTargetsEqualOutputs(t *testing.T) {
 	st = v.play(adv)
 	if st.G.M() != prevM {
 		t.Fatalf("injected edges did not persist: %d -> %d", prevM, st.G.M())
+	}
+}
+
+// TestConflictInjectorDeterministic pins the fix for a real same-seed
+// nondeterminism bug: candidate groups used to be collected by ranging
+// over a map, so the PRF draws indexed a differently-ordered slice on
+// every run. Two fresh injectors with the same seed and view sequence
+// must log identical injections. Several duplicate-output groups per
+// round keep the (now sorted) candidate ordering load-bearing.
+func TestConflictInjectorDeterministic(t *testing.T) {
+	run := func() []Injection {
+		adv := &ConflictInjector{Inner: Static{G: graph.Empty(12)}, Rate: 6, MinRound: 1, Seed: 11}
+		v := newFakeView(12)
+		for r := 0; r < 4; r++ {
+			v.delayed = []problems.Value{5, 5, 5, 9, 9, 9, 2, 2, 7, 7, 7, problems.Bot}
+			if r%2 == 1 {
+				v.delayed = []problems.Value{1, 1, 4, 4, 4, 4, 8, 8, 8, 3, 3, 3}
+			}
+			v.play(adv)
+		}
+		return adv.Injections
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no injections logged; test exercises nothing")
+	}
+	if !slices.Equal(a, b) {
+		t.Fatalf("same-seed runs diverged:\n  %v\nvs\n  %v", a, b)
 	}
 }
 

@@ -1,6 +1,8 @@
 package adversary
 
 import (
+	"slices"
+
 	"dynlocal/internal/graph"
 	"dynlocal/internal/prf"
 	"dynlocal/internal/problems"
@@ -94,6 +96,9 @@ func (a *LubyStaller) Step(v View) Step {
 		if len(winners) == 0 {
 			break
 		}
+		// winners was collected in map order; sort so edge deletions and
+		// the Deleted counter replay identically on every execution.
+		slices.Sort(winners)
 		for _, x := range winners {
 			for _, y := range adj[x] {
 				k := graph.MakeEdgeKey(x, y)

@@ -246,11 +246,19 @@ func (ci *ConflictInjector) Step(v View) Step {
 				groups[int64(val)] = append(groups[int64(val)], graph.NodeID(id))
 			}
 		}
-		var candidates [][]graph.NodeID
-		for _, g := range groups {
+		// Collect the conflictable group values in sorted order: candidates
+		// is indexed by PRF draws below, so its order must not depend on
+		// map iteration (this was a real same-seed nondeterminism bug).
+		vals := make([]int64, 0, len(groups))
+		for val, g := range groups {
 			if len(g) >= 2 {
-				candidates = append(candidates, g)
+				vals = append(vals, val)
 			}
+		}
+		slices.Sort(vals)
+		candidates := make([][]graph.NodeID, 0, len(vals))
+		for _, val := range vals {
+			candidates = append(candidates, groups[val])
 		}
 		for i := 0; i < ci.Rate && len(candidates) > 0; i++ {
 			g := candidates[s.Intn(len(candidates))]

@@ -105,7 +105,9 @@ func TestDMisIndependenceOnSinceStartIntersection(t *testing.T) {
 	var inter *graph.Graph
 	e.OnRound(func(info *engine.RoundInfo) {
 		if inter == nil {
-			inter = info.Graph()
+			// Clone: the round-1 graph is pooled and inter is read on
+			// every later round.
+			inter = info.Graph().Clone()
 		} else {
 			inter = graph.Intersection(inter, info.Graph())
 		}

@@ -1,0 +1,33 @@
+// Package analysis hosts dynlint, the repo's static-analysis suite. Three
+// analyzers turn the prose contracts of ARCHITECTURE.md into build
+// breaks:
+//
+//   - loancheck — pooled //dynlint:loan buffers may not escape their
+//     round without Retain/Clone; //dynlint:view aliases are read-only;
+//   - detcheck — determinism-critical packages may not depend on map
+//     iteration order, math/rand, wall clocks, or select-with-default;
+//   - sortedcheck — //dynlint:sorted slices must be produced and passed
+//     in strictly ascending order.
+//
+// The analyzers run over packages loaded by the dependency-free
+// framework loader (see internal/analysis/framework); scripts/dynlint is
+// the command-line driver and `make lint` / CI invoke it on the whole
+// tree. docs/linting.md documents the annotation grammar and the
+// //dynlint:ignore escape hatch.
+package analysis
+
+import (
+	"dynlocal/internal/analysis/detcheck"
+	"dynlocal/internal/analysis/framework"
+	"dynlocal/internal/analysis/loancheck"
+	"dynlocal/internal/analysis/sortedcheck"
+)
+
+// Suite returns the dynlint analyzers in their canonical order.
+func Suite() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		loancheck.Analyzer,
+		detcheck.Analyzer,
+		sortedcheck.Analyzer,
+	}
+}

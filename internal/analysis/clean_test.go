@@ -1,0 +1,31 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dynlocal/internal/analysis"
+	"dynlocal/internal/analysis/framework"
+)
+
+// TestTreeIsClean runs the full dynlint suite over the whole module —
+// exactly what `go run ./scripts/dynlint ./...` does — and requires zero
+// findings. This pins the annotation state of the tree: a new loan
+// escape, map-range leak, or unsorted feed fails here before it fails in
+// CI's lint job.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the entire module with tests")
+	}
+	l := framework.NewLoader("../..")
+	prog, err := l.Load([]string{"./..."}, true)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	findings, err := framework.RunAnalyzers(prog, analysis.Suite())
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

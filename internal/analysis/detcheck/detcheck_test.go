@@ -1,0 +1,12 @@
+package detcheck_test
+
+import (
+	"testing"
+
+	"dynlocal/internal/analysis/detcheck"
+	"dynlocal/internal/analysis/framework/analysistest"
+)
+
+func TestDetcheck(t *testing.T) {
+	analysistest.Run(t, "../testdata/src", detcheck.Analyzer, "./det/...")
+}

@@ -1,0 +1,103 @@
+// Package analysistest runs a framework.Analyzer over a fixture module
+// and compares its diagnostics against // want "regex" comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest. A want comment
+// expects one diagnostic on its own line whose message matches the quoted
+// regular expression; several quoted patterns on one comment expect
+// several diagnostics. Every diagnostic must be wanted and every want must
+// be matched, so fixtures pin both positives and negatives.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"testing"
+
+	"dynlocal/internal/analysis/framework"
+)
+
+var (
+	wantRe   = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+type want struct {
+	raw     string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads patterns from the fixture module rooted at dir (with tests),
+// runs the analyzer, and reports mismatches against the fixtures' want
+// comments as test errors.
+func Run(t *testing.T, dir string, a *framework.Analyzer, patterns ...string) {
+	t.Helper()
+	loader := framework.NewLoader(dir)
+	prog, err := loader.Load(patterns, true)
+	if err != nil {
+		t.Fatalf("loading fixtures from %s: %v", dir, err)
+	}
+	findings, err := framework.RunAnalyzers(prog, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	// Collect want comments, once per file (a file can appear in only one
+	// target variant, but be defensive about duplicates).
+	wants := make(map[string]map[int][]*want)
+	seen := make(map[string]bool)
+	for _, pkg := range prog.Targets {
+		for _, f := range pkg.Files {
+			fname := prog.Fset.Position(f.Pos()).Filename
+			if seen[fname] {
+				continue
+			}
+			seen[fname] = true
+			for _, g := range f.Comments {
+				for _, c := range g.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					for _, q := range quotedRe.FindAllString(m[1], -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", fname, pos.Line, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", fname, pos.Line, pat, err)
+						}
+						if wants[fname] == nil {
+							wants[fname] = make(map[int][]*want)
+						}
+						wants[fname][pos.Line] = append(wants[fname][pos.Line], &want{raw: pat, re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		ok := false
+		for _, w := range wants[f.Pos.Filename][f.Pos.Line] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic:\n  %s", f)
+		}
+	}
+	for fname, lines := range wants {
+		for line, ws := range lines {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: no %s diagnostic matching %q", fname, line, a.Name, w.raw)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Annotation names. The grammar (docs/linting.md) is a directive comment
+//
+//	//dynlint:<kind> [name ...]
+//
+// attached to a struct field, a type declaration, or a function
+// declaration. On a field or type the name list must be empty: the
+// annotation describes the field's value, or every value of the type. On
+// a function an empty list annotates the results; names scope the
+// annotation to the named parameters (the special name "return" selects
+// the results explicitly, so parameters and results can be mixed).
+const (
+	KindLoan   = "loan"   // pooled/aliased value: may not outlive its round without Retain/Clone
+	KindView   = "view"   // read-only alias: element writes through it are forbidden
+	KindSorted = "sorted" // strictly ascending slice: producers must establish order
+)
+
+// ObjAnn is the annotation set of one declared object (struct field,
+// named type, or function).
+type ObjAnn struct {
+	// Loan, View, Sorted apply to the object's value — for functions, to
+	// all results.
+	Loan, View, Sorted bool
+	// Params maps a parameter name to the kinds annotating it
+	// (functions only).
+	Params map[string]map[string]bool
+}
+
+// ParamIs reports whether the named parameter carries kind.
+func (a *ObjAnn) ParamIs(name, kind string) bool {
+	if a == nil || a.Params == nil {
+		return false
+	}
+	return a.Params[name][kind]
+}
+
+// Annotations is the whole-program //dynlint:* table, keyed by
+// types.Object. Because test-augmented package variants are type-checked
+// separately, the same source declaration may appear under several object
+// identities; the table is populated per variant so lookups work from any
+// of them.
+type Annotations struct {
+	objs map[types.Object]*ObjAnn
+}
+
+// NewAnnotations returns an empty table.
+func NewAnnotations() *Annotations {
+	return &Annotations{objs: make(map[types.Object]*ObjAnn)}
+}
+
+// Of returns the annotation set of obj, or nil.
+func (t *Annotations) Of(obj types.Object) *ObjAnn {
+	if obj == nil {
+		return nil
+	}
+	return t.objs[obj]
+}
+
+// Is reports whether obj carries kind (on itself / its results).
+func (t *Annotations) Is(obj types.Object, kind string) bool {
+	a := t.Of(obj)
+	if a == nil {
+		return false
+	}
+	switch kind {
+	case KindLoan:
+		return a.Loan
+	case KindView:
+		return a.View
+	case KindSorted:
+		return a.Sorted
+	}
+	return false
+}
+
+// TypeIs reports whether typ's named type (through pointers) carries
+// kind, so a //dynlint:loan type declaration taints every value of the
+// type.
+func (t *Annotations) TypeIs(typ types.Type, kind string) bool {
+	for {
+		switch u := typ.(type) {
+		case *types.Pointer:
+			typ = u.Elem()
+			continue
+		case *types.Named:
+			return t.Is(u.Obj(), kind)
+		case *types.Alias:
+			typ = types.Unalias(typ)
+			continue
+		default:
+			return false
+		}
+	}
+}
+
+var directiveRe = regexp.MustCompile(`^//dynlint:(\w+)(?:\s+(.*))?$`)
+
+// parseDirectives extracts dynlint directives from a comment group.
+func parseDirectives(doc ...*ast.CommentGroup) [][2]string {
+	var out [][2]string
+	for _, g := range doc {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			m := directiveRe.FindStringSubmatch(strings.TrimRight(c.Text, " \t"))
+			if m == nil || m[1] == "ignore" {
+				continue
+			}
+			out = append(out, [2]string{m[1], strings.TrimSpace(m[2])})
+		}
+	}
+	return out
+}
+
+func (t *Annotations) ann(obj types.Object) *ObjAnn {
+	a := t.objs[obj]
+	if a == nil {
+		a = &ObjAnn{}
+		t.objs[obj] = a
+	}
+	return a
+}
+
+func (a *ObjAnn) set(kind string) {
+	switch kind {
+	case KindLoan:
+		a.Loan = true
+	case KindView:
+		a.View = true
+	case KindSorted:
+		a.Sorted = true
+	}
+}
+
+func (a *ObjAnn) setParam(name, kind string) {
+	if a.Params == nil {
+		a.Params = make(map[string]map[string]bool)
+	}
+	if a.Params[name] == nil {
+		a.Params[name] = make(map[string]bool)
+	}
+	a.Params[name][kind] = true
+}
+
+// Scan collects the //dynlint:* directives of one type-checked package
+// variant into the table. It must be called for every variant before any
+// analyzer that consults the table runs.
+func (t *Annotations) Scan(files []*ast.File, info *types.Info) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				t.scanFunc(d, info)
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					t.scanType(d, ts, info)
+				}
+			}
+		}
+	}
+}
+
+func (t *Annotations) scanType(d *ast.GenDecl, ts *ast.TypeSpec, info *types.Info) {
+	obj := info.Defs[ts.Name]
+	for _, dir := range parseDirectives(d.Doc, ts.Doc, ts.Comment) {
+		if obj != nil && dir[1] == "" {
+			t.ann(obj).set(dir[0])
+		}
+	}
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	for _, field := range st.Fields.List {
+		dirs := parseDirectives(field.Doc, field.Comment)
+		if len(dirs) == 0 {
+			continue
+		}
+		for _, name := range field.Names {
+			fobj := info.Defs[name]
+			if fobj == nil {
+				continue
+			}
+			for _, dir := range dirs {
+				t.ann(fobj).set(dir[0])
+			}
+		}
+	}
+}
+
+func (t *Annotations) scanFunc(d *ast.FuncDecl, info *types.Info) {
+	dirs := parseDirectives(d.Doc)
+	if len(dirs) == 0 {
+		return
+	}
+	obj := info.Defs[d.Name]
+	if obj == nil {
+		return
+	}
+	a := t.ann(obj)
+	for _, dir := range dirs {
+		if dir[1] == "" {
+			a.set(dir[0])
+			continue
+		}
+		for _, name := range strings.Fields(dir[1]) {
+			if name == "return" {
+				a.set(dir[0])
+			} else {
+				a.setParam(name, dir[0])
+			}
+		}
+	}
+}
+
+var ignoreRe = regexp.MustCompile(`^//dynlint:ignore\s+(\S+)\s+(.+)$`)
+
+// FilterIgnored drops diagnostics suppressed by a
+//
+//	//dynlint:ignore <check>[,<check>...] <reason>
+//
+// comment on the diagnostic's line or the line directly above it. The
+// reason is mandatory — an ignore without one suppresses nothing. The
+// check list may be "all".
+func FilterIgnored(fset *token.FileSet, files []*ast.File, name string, diags []Diagnostic) []Diagnostic {
+	// ignored[file][line] = true for lines covered by a matching ignore.
+	ignored := make(map[string]map[int]bool)
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				m := ignoreRe.FindStringSubmatch(strings.TrimRight(c.Text, " \t"))
+				if m == nil {
+					continue
+				}
+				match := false
+				for _, chk := range strings.Split(m[1], ",") {
+					if chk == "all" || chk == name {
+						match = true
+					}
+				}
+				if !match {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := ignored[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					ignored[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if ignored[pos.Filename][pos.Line] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package framework_test
+
+import (
+	"testing"
+
+	"dynlocal/internal/analysis/framework"
+)
+
+// TestLoadNarrowPatternWithExternalTests is a regression test for the
+// narrowed-pattern load: `go list -deps -test ./internal/engine/` lists
+// some packages (test-only imports of the named package) exclusively as
+// recompiled "p [q.test]" variants, which the loader must adopt as plain
+// entries so the external-test re-type-check closure can find them.
+// Before the fix this failed with a type-identity error ("*core.Concat
+// does not implement engine.Algorithm").
+func TestLoadNarrowPatternWithExternalTests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the engine test closure")
+	}
+	l := framework.NewLoader("../../..")
+	prog, err := l.Load([]string{"./internal/engine/"}, true)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var aug, xtest bool
+	for _, p := range prog.Targets {
+		switch p.PkgPath {
+		case "dynlocal/internal/engine":
+			aug = aug || p.Test
+		case "dynlocal/internal/engine_test":
+			xtest = true
+		}
+	}
+	if !aug {
+		t.Error("missing test-augmented engine variant in targets")
+	}
+	if !xtest {
+		t.Error("missing external engine_test package in targets")
+	}
+}
+
+// TestLoadWithoutTests checks the plain, test-free load path: only
+// non-test variants become targets and no _test.go file is parsed.
+func TestLoadWithoutTests(t *testing.T) {
+	l := framework.NewLoader("../../..")
+	prog, err := l.Load([]string{"./internal/graph/"}, false)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(prog.Targets) != 1 {
+		t.Fatalf("targets = %d, want 1", len(prog.Targets))
+	}
+	p := prog.Targets[0]
+	if p.PkgPath != "dynlocal/internal/graph" || p.Test {
+		t.Fatalf("target = %s (test=%v), want plain dynlocal/internal/graph", p.PkgPath, p.Test)
+	}
+	for _, f := range p.Files {
+		if p.TestFile(prog.Fset, f.Pos()) {
+			t.Fatalf("plain load parsed a _test.go file: %s", prog.Fset.Position(f.Pos()).Filename)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package framework
+
+import (
+	"fmt"
+	"go/token"
+	"slices"
+	"strings"
+)
+
+// Finding is one resolved diagnostic: an analyzer name plus a concrete
+// file position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional path:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// RunAnalyzers runs every analyzer over every target package of the
+// program, applies //dynlint:ignore suppression, and returns the findings
+// sorted by position. An analyzer error aborts the run.
+func RunAnalyzers(prog *Program, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range prog.Targets {
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:    a,
+				Fset:        prog.Fset,
+				Files:       pkg.Files,
+				Pkg:         pkg.Types,
+				PkgPath:     pkg.PkgPath,
+				TypesInfo:   pkg.Info,
+				Annotations: prog.Annotations,
+				TestFile: func(pos token.Pos) bool {
+					return pkg.TestFile(prog.Fset, pos)
+				},
+				Report: func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.PkgPath, err)
+			}
+			diags = FilterIgnored(prog.Fset, pkg.Files, a.Name, diags)
+			for _, d := range diags {
+				out = append(out, Finding{Analyzer: a.Name, Pos: prog.Fset.Position(d.Pos), Message: d.Message})
+			}
+		}
+	}
+	slices.SortFunc(out, func(a, b Finding) int {
+		if c := strings.Compare(a.Pos.Filename, b.Pos.Filename); c != 0 {
+			return c
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line - b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column - b.Pos.Column
+		}
+		return strings.Compare(a.Analyzer, b.Analyzer)
+	})
+	return out, nil
+}

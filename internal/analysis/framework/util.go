@@ -1,0 +1,86 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleeObj resolves the object a call expression invokes: a *types.Func
+// for static calls and method calls, nil for builtins, function-typed
+// variables and indirect calls.
+func CalleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fn.Sel] // qualified identifier pkg.Fn
+	}
+	return nil
+}
+
+// CalleeName returns the bare name of the called function or method ("" if
+// unresolvable): "Clone" for g.Clone(...), "Sort" for slices.Sort(...).
+func CalleeName(info *types.Info, call *ast.CallExpr) string {
+	if obj := CalleeObj(info, call); obj != nil {
+		return obj.Name()
+	}
+	// Builtins (append, copy, delete, ...) have no use entry through
+	// CalleeObj for the universe scope — fall back to the syntax.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// IsBuiltinCall reports whether call invokes the named universe builtin.
+func IsBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// PkgFunc reports whether call is pkg.name(...) for a package-level
+// function, e.g. PkgFunc(info, call, "slices", "Clone").
+func PkgFunc(info *types.Info, call *ast.CallExpr, pkg, name string) bool {
+	obj := CalleeObj(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Name() == pkg
+}
+
+// RefLike reports whether values of typ can alias memory: pointers,
+// slices, maps, channels, funcs, interfaces, or structs/arrays containing
+// any of those. Plain value types (ints, strings, graph.EdgeKey, ...) are
+// not reference-like: copying them severs any tie to pooled storage.
+func RefLike(typ types.Type) bool {
+	seen := make(map[types.Type]bool)
+	var rec func(types.Type) bool
+	rec = func(t types.Type) bool {
+		if t == nil || seen[t] {
+			return false
+		}
+		seen[t] = true
+		switch u := t.Underlying().(type) {
+		case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+			return true
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if rec(u.Field(i).Type()) {
+					return true
+				}
+			}
+		case *types.Array:
+			return rec(u.Elem())
+		}
+		return false
+	}
+	return rec(typ)
+}

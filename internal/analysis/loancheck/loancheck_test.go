@@ -1,0 +1,12 @@
+package loancheck_test
+
+import (
+	"testing"
+
+	"dynlocal/internal/analysis/framework/analysistest"
+	"dynlocal/internal/analysis/loancheck"
+)
+
+func TestLoancheck(t *testing.T) {
+	analysistest.Run(t, "../testdata/src", loancheck.Analyzer, "./loan/...", "./retain/...")
+}

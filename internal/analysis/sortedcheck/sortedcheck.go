@@ -1,0 +1,327 @@
+// Package sortedcheck enforces //dynlint:sorted slice contracts. Much of
+// the repo's O(changes)-per-round machinery (CSR patching, delta merging,
+// window feeds) relies on edge and node slices being strictly ascending;
+// an unsorted input silently corrupts binary searches and linear merges.
+//
+// The check has a producer side and a consumer side:
+//
+//   - a function whose results are annotated sorted must establish order
+//     on every return path: returned slices must come from a sorting call
+//     (slices.Sort* / sort.*), from another sorted-annotated source, or
+//     be trivially sorted (nil, empty, single element). Returning a slice
+//     that was only ever built by raw appends is flagged;
+//   - a call argument bound to a sorted-annotated parameter must not be a
+//     provably-unsorted constant composite literal.
+//
+// Merge routines that maintain order structurally (DiffSortedKeys-style
+// two-pointer merges) cannot be proven by this pass; they carry a
+// //dynlint:ignore sortedcheck comment with the proof sketch as reason.
+package sortedcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"dynlocal/internal/analysis/framework"
+)
+
+// Analyzer is the sortedcheck framework.Analyzer.
+var Analyzer = &framework.Analyzer{
+	Name:     "sortedcheck",
+	Doc:      "checks that //dynlint:sorted slices are produced in (and passed in) strictly ascending order",
+	Contract: "sorted-slice inputs: delta and edge-key slices must be strictly ascending",
+	Run:      run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkProducer(pass, fd)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkConsumer(pass, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ---- producer side ----
+
+// checkProducer verifies each return path of a function whose results are
+// annotated sorted.
+func checkProducer(pass *framework.Pass, fd *ast.FuncDecl) {
+	obj := pass.TypesInfo.Defs[fd.Name]
+	if obj == nil || !pass.Annotations.Is(obj, framework.KindSorted) {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	c := &producer{pass: pass, fd: fd}
+	c.collectAppendOnly(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested closures have their own contracts
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for i, res := range ret.Results {
+			if i >= sig.Results().Len() {
+				break
+			}
+			if _, isSlice := sig.Results().At(i).Type().Underlying().(*types.Slice); !isSlice {
+				continue
+			}
+			if !c.establishesOrder(res) {
+				pass.Reportf(res.Pos(), "%s returns a //dynlint:sorted slice that is never sorted on this path; call slices.Sort before returning or build it from a sorted source", fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+type producer struct {
+	pass *framework.Pass
+	fd   *ast.FuncDecl
+	// appendOnly holds locals that are only ever assigned raw appends or
+	// empty/nil values — i.e. nothing in the function sorts them.
+	appendOnly map[types.Object]bool
+}
+
+// collectAppendOnly finds local slice variables that accumulate via append
+// and are never passed to a sorting call.
+func (c *producer) collectAppendOnly(body *ast.BlockStmt) {
+	c.appendOnly = make(map[types.Object]bool)
+	appended := make(map[types.Object]bool)
+	sorted := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := c.pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = c.pass.TypesInfo.Uses[id]
+				}
+				if obj == nil || i >= len(s.Rhs) && len(s.Rhs) != 1 {
+					continue
+				}
+				var rhs ast.Expr
+				if i < len(s.Rhs) {
+					rhs = s.Rhs[i]
+				} else {
+					rhs = s.Rhs[0]
+				}
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok &&
+					framework.IsBuiltinCall(c.pass.TypesInfo, call, "append") {
+					appended[obj] = true
+				} else if rhs != nil && !trivialSortedExpr(c.pass, rhs) {
+					// Assigned from something nontrivial (a call, another
+					// slice): can't claim it is append-only-unsorted.
+					sorted[obj] = true
+				}
+			}
+		case *ast.CallExpr:
+			if sortingCall(c.pass.TypesInfo, s) {
+				for _, arg := range s.Args {
+					ast.Inspect(arg, func(m ast.Node) bool {
+						if id, ok := m.(*ast.Ident); ok {
+							if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+								sorted[obj] = true
+							}
+						}
+						return true
+					})
+				}
+			}
+		}
+		return true
+	})
+	for obj := range appended {
+		if !sorted[obj] {
+			c.appendOnly[obj] = true
+		}
+	}
+}
+
+// establishesOrder reports whether the returned expression is known (or
+// at least not known-unsorted) to be ascending.
+func (c *producer) establishesOrder(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		if x.Name == "nil" {
+			return true
+		}
+		obj := c.pass.TypesInfo.Uses[x]
+		if obj == nil {
+			return true
+		}
+		if c.appendOnly[obj] {
+			return false // built by raw appends, never sorted
+		}
+		return true
+	case *ast.CallExpr:
+		if sortingCall(c.pass.TypesInfo, x) {
+			return true
+		}
+		// A call to another sorted-annotated producer, or to append on a
+		// sorted base, keeps the contract; any other call is trusted (it
+		// has its own producer check if annotated).
+		return true
+	case *ast.CompositeLit:
+		ok, _ := literalSorted(c.pass, x)
+		return ok
+	case *ast.SliceExpr:
+		return c.establishesOrder(x.X) // a subslice of sorted is sorted
+	default:
+		return true
+	}
+}
+
+// ---- consumer side ----
+
+// checkConsumer flags provably-unsorted constant composite literals passed
+// to //dynlint:sorted parameters.
+func checkConsumer(pass *framework.Pass, call *ast.CallExpr) {
+	obj := framework.CalleeObj(pass.TypesInfo, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	ann := pass.Annotations.Of(fn)
+	if ann == nil || ann.Params == nil {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	params := sig.Params()
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Recv() == nil && len(call.Args) == params.Len()+1 {
+			// method expression T.M(recv, ...): shift one.
+			pi = i - 1
+		}
+		if pi < 0 || pi >= params.Len() {
+			continue
+		}
+		p := params.At(pi)
+		if !ann.ParamIs(p.Name(), framework.KindSorted) {
+			continue
+		}
+		lit, ok := ast.Unparen(arg).(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		if ok, witness := literalSorted(pass, lit); !ok {
+			pass.Reportf(arg.Pos(), "unsorted literal passed to //dynlint:sorted parameter %s of %s (%s); list elements in ascending order", p.Name(), fn.Name(), witness)
+		}
+	}
+}
+
+// literalSorted decides whether a composite literal is strictly ascending.
+// It understands integer-constant elements and struct elements whose first
+// constant fields are comparable (EdgeKey{U, V} style). Non-constant
+// elements make the literal unknown (treated as sorted). The witness names
+// the offending adjacent pair.
+func literalSorted(pass *framework.Pass, lit *ast.CompositeLit) (bool, string) {
+	keys := make([][]int64, 0, len(lit.Elts))
+	for _, el := range lit.Elts {
+		k, ok := elemKey(pass, el)
+		if !ok {
+			return true, "" // non-constant element: cannot judge
+		}
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		if !lessKey(keys[i-1], keys[i]) {
+			return false, "element " + strconv.Itoa(i-1) + " is not below element " + strconv.Itoa(i)
+		}
+	}
+	return true, ""
+}
+
+// elemKey extracts a comparison key from a literal element: a single
+// integer, or the leading integer fields of a struct literal.
+func elemKey(pass *framework.Pass, el ast.Expr) ([]int64, bool) {
+	el = ast.Unparen(el)
+	if inner, ok := el.(*ast.CompositeLit); ok {
+		var key []int64
+		for _, f := range inner.Elts {
+			v := f
+			if kv, ok := f.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			n, ok := constInt(pass, v)
+			if !ok {
+				break
+			}
+			key = append(key, n)
+		}
+		if len(key) == 0 {
+			return nil, false
+		}
+		return key, true
+	}
+	if n, ok := constInt(pass, el); ok {
+		return []int64{n}, true
+	}
+	return nil, false
+}
+
+func constInt(pass *framework.Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+func lessKey(a, b []int64) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// trivialSortedExpr reports whether e is vacuously sorted: nil or a
+// composite literal of at most one element. Assigning one of these does
+// not launder an append-built slice into "sorted" status.
+func trivialSortedExpr(pass *framework.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name == "nil"
+	}
+	if lit, ok := e.(*ast.CompositeLit); ok {
+		return len(lit.Elts) <= 1
+	}
+	return false
+}
+
+func sortingCall(info *types.Info, call *ast.CallExpr) bool {
+	obj := framework.CalleeObj(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Name() {
+	case "slices":
+		return strings.HasPrefix(fn.Name(), "Sort") || fn.Name() == "Compact" || fn.Name() == "CompactFunc"
+	case "sort":
+		return true
+	}
+	return false
+}

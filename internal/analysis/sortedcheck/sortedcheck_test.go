@@ -1,0 +1,12 @@
+package sortedcheck_test
+
+import (
+	"testing"
+
+	"dynlocal/internal/analysis/framework/analysistest"
+	"dynlocal/internal/analysis/sortedcheck"
+)
+
+func TestSortedcheck(t *testing.T) {
+	analysistest.Run(t, "../testdata/src", sortedcheck.Analyzer, "./sorted/...")
+}

@@ -1,0 +1,80 @@
+// Package det exercises detcheck. Its import path (fix/det) is listed in
+// detcheck.Critical, so everything here is held to the determinism
+// contract.
+package det
+
+import (
+	"slices"
+	"time"
+)
+
+func ordersLeak(m map[int]bool, sink func(int)) {
+	for k := range m { // want "map iteration order"
+		sink(k)
+	}
+}
+
+func appendNeverSorted(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want "never sorted"
+	}
+	return keys
+}
+
+func earlyReturn(m map[int]int) int {
+	for _, v := range m { // want "map iteration order"
+		if v > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "wall-clock"
+}
+
+func racySelect(ch chan int) int {
+	select { // want "select with default"
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+func sortedKeys(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+func counter(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func perKey(m map[int]int, dst map[int]int, marks []bool) {
+	for k, v := range m {
+		dst[k] = v + 1
+		if v == 0 {
+			delete(dst, k)
+			continue
+		}
+		marks[k] = true
+	}
+}
+
+func suppressed(m map[int]bool, sink func(int)) {
+	//dynlint:ignore detcheck fixture for the suppression grammar
+	for k := range m {
+		sink(k)
+	}
+}

@@ -1,0 +1,5 @@
+package det
+
+import "math/rand" // want "math/rand"
+
+func draw() int { return rand.Int() }

@@ -1,0 +1,75 @@
+// Package loan exercises loancheck: escapes of pooled //dynlint:loan
+// values and writes through //dynlint:view aliases.
+package loan
+
+// Round is a pooled per-round record, recycled by its owner.
+//
+//dynlint:loan
+type Round struct {
+	// Outputs is pooled storage.
+	//dynlint:loan
+	Outputs []int
+	name    string
+}
+
+// Keeper is long-lived state that must not absorb pooled values.
+type Keeper struct {
+	got   []int
+	round *Round
+}
+
+var global []int
+
+// Emit returns a pooled slice valid only until the next round.
+//
+//dynlint:loan
+func Emit() []int { return nil }
+
+// Keys returns a read-only alias of owner storage.
+//
+//dynlint:view
+func Keys() []int { return nil }
+
+func escapes(k *Keeper, r *Round) {
+	k.got = r.Outputs // want "stored in field"
+	global = Emit()   // want "package variable"
+	k.round = r       // want "stored in field"
+}
+
+func escapesCapture() func() {
+	var save []int
+	return func() {
+		save = Emit() // want "escapes the callback"
+		_ = save
+	}
+}
+
+func writesView() {
+	v := Keys()
+	v[0] = 1          // want "read-only"
+	v[0]++            // want "read-only"
+	copy(v, []int{1}) // want "copy into view"
+}
+
+func clean(k *Keeper, r *Round) {
+	k.got = append([]int(nil), r.Outputs...) // spread append copies value elements
+	k.got = Clone(r.Outputs)                 // sanctioned launder
+	local := r.Outputs                       // local alias inside the call is fine
+	_ = local
+	x := Emit()
+	x = x[:0]
+	_ = x
+	sum := 0
+	for _, o := range r.Outputs {
+		sum += o
+	}
+	_ = sum
+}
+
+func suppressed(k *Keeper, r *Round) {
+	//dynlint:ignore loancheck test fixture for the suppression grammar
+	k.got = r.Outputs
+}
+
+// Clone returns an owned copy of xs.
+func Clone(xs []int) []int { return append([]int(nil), xs...) }

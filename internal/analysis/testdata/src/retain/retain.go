@@ -1,0 +1,37 @@
+// Package retain mirrors the engine's observer/Retain pattern
+// (internal/engine/config_test.go): a pooled *Info is handed to a
+// callback, Retain() launders it into an owned copy, and keeping the raw
+// pointer past the callback is an escape. Deleting the .Retain() call
+// below must make loancheck fail — that is the acceptance regression for
+// the whole suite.
+package retain
+
+// Info is the pooled round record handed to observers.
+//
+//dynlint:loan
+type Info struct {
+	Round   int
+	Outputs []int
+}
+
+// Retain returns an owned deep copy of the record, safe to keep.
+func (in *Info) Retain() *Info {
+	out := &Info{Round: in.Round}
+	out.Outputs = append([]int(nil), in.Outputs...)
+	return out
+}
+
+type sim struct {
+	obs func(*Info)
+}
+
+func observerRetains() (*Info, *Info) {
+	var retained *Info
+	var live *Info
+	s := &sim{}
+	s.obs = func(in *Info) {
+		retained = in.Retain() // owned: Retain severs the loan
+		live = in              // want "escapes the callback"
+	}
+	return retained, live
+}

@@ -1,0 +1,70 @@
+// Package sorted exercises sortedcheck's producer and consumer sides.
+package sorted
+
+import "slices"
+
+// Edge mirrors graph.EdgeKey: compared lexicographically by (U, V).
+type Edge struct{ U, V int }
+
+// Apply consumes a strictly ascending slice.
+//
+//dynlint:sorted adds
+func Apply(adds []int) {}
+
+// ApplyEdges consumes strictly ascending (U, V) pairs.
+//
+//dynlint:sorted adds
+func ApplyEdges(adds []Edge) {}
+
+// DoubledUnsorted promises sorted results but never establishes order.
+//
+//dynlint:sorted
+func DoubledUnsorted(xs []int) []int {
+	var out []int
+	for _, v := range xs {
+		out = append(out, v*2)
+	}
+	return out // want "never sorted"
+}
+
+// DoubledSorted establishes order before returning.
+//
+//dynlint:sorted
+func DoubledSorted(xs []int) []int {
+	var out []int
+	for _, v := range xs {
+		out = append(out, v*2)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// Merged is a structural two-pointer merge: order is maintained by
+// construction, which this pass cannot prove.
+//
+//dynlint:sorted
+func Merged(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	//dynlint:ignore sortedcheck two-pointer merge emits ascending output by construction
+	return out
+}
+
+func callers() {
+	Apply([]int{3, 1, 2}) // want "unsorted literal"
+	Apply([]int{1, 2, 3})
+	Apply(nil)
+	ApplyEdges([]Edge{{2, 1}, {1, 2}}) // want "unsorted literal"
+	ApplyEdges([]Edge{{1, 2}, {2, 1}})
+}

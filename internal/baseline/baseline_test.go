@@ -46,6 +46,7 @@ func TestGreedyRepairMISRepairsSingleChange(t *testing.T) {
 	churnThenQuiet := adversaryPhase{quietAfter: 30, inner: &adversary.Churn{Base: g, Add: 1, Del: 1, Seed: 4}}
 	e := engine.New(engine.Config{N: n, Seed: 5}, &churnThenQuiet, GreedyRepairMIS{N: n})
 	var lastG *graph.Graph
+	//dynlint:ignore loancheck only the final round's graph is read, after Run stops playing rounds, so its pooled arena is never recycled
 	e.OnRound(func(info *engine.RoundInfo) { lastG = info.Graph() })
 	e.Run(90)
 	final := e.Outputs()

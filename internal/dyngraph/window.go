@@ -78,6 +78,8 @@ type edgeSpan struct {
 // (V_{r-1} ⊆ V_r) and the window start only advances, so V^∩T never loses
 // nodes — but is part of the contract so observers need not encode that
 // argument themselves.
+//
+//dynlint:loan
 type Delta struct {
 	Round int
 	// CoreEntered lists nodes that joined V^∩T_r this round.
@@ -228,6 +230,8 @@ func (w *Window) ObserveDelta(g *graph.Graph, wakeNow []graph.NodeID) *Delta {
 // |E_r| — and the emitted Delta is bit-identical to what the scan feed
 // produces for the same round sequence. Added edges must only touch awake
 // nodes (after wakeNow is applied); violations panic as in Observe.
+//
+//dynlint:sorted adds removes
 func (w *Window) ObserveEdgeDelta(adds, removes []graph.EdgeKey, wakeNow []graph.NodeID) *Delta {
 	w.setMode(feedDelta)
 	return w.advance(adds, removes, wakeNow, true)

@@ -158,8 +158,7 @@ func TestTopologyDeltaFeedMatchesBruteDiff(t *testing.T) {
 						t.Fatalf("round %d: folded %d edges, graph has %d",
 							info.Round, len(present), info.Graph().M())
 					}
-					// prevG is read next round, within the pooled graph's
-					// two-round lifetime.
+					//dynlint:ignore loancheck prevG is read next round only, within the pooled graph's two-round lifetime
 					prevG = info.Graph()
 				})
 				e.Run(20)

@@ -185,6 +185,7 @@ func TestSnapshotPoolingKeepsLagWindowIntact(t *testing.T) {
 	const n = 8
 	var infos []*RoundInfo
 	e := New(Config{N: n, Seed: 3, OutputLag: 2}, adversary.Static{G: graph.Cycle(n)}, roundAlgo{})
+	//dynlint:ignore loancheck deliberately retains raw pooled pointers to assert the OutputLag+1 ring keeps lag-window rounds intact
 	e.OnRound(func(info *RoundInfo) { infos = append(infos, info) })
 	e.Run(10)
 	// roundAlgo outputs its age: round r snapshot is all r. The two most

@@ -211,6 +211,8 @@ type Config struct {
 // output diff. It is the single argument of verify.(*TDynamic).Feed and
 // is obtained from RoundInfo.Delta. The slices alias the RoundInfo they
 // came from and follow its pooling lifetimes.
+//
+//dynlint:loan
 type RoundDelta struct {
 	// Round is the 1-based round the delta describes.
 	Round int
@@ -229,13 +231,19 @@ type RoundDelta struct {
 // is pooled on the same ring as its Outputs snapshot — reused
 // OutputLag+1 rounds later — so it shares its buffers' lifetime exactly;
 // use Retain to hold a round longer.
+//
+//dynlint:loan
 type RoundInfo struct {
 	Round int
-	Wake  []graph.NodeID
+	// Wake lists the nodes that woke this round. Pooled and reused on the
+	// next Step — copy to retain. Do not modify.
+	//dynlint:loan
+	Wake []graph.NodeID
 	// Outputs is the end-of-round snapshot. The engine pools snapshot
 	// buffers: the slice is reused OutputLag+1 rounds later, so observers
 	// that retain outputs across rounds must copy it (or Retain the
 	// round). Do not modify.
+	//dynlint:loan
 	Outputs []problems.Value
 	// Changed lists, in ascending node order and without duplicates, the
 	// nodes whose Outputs entry differs from the previous round's snapshot
@@ -246,6 +254,8 @@ type RoundInfo struct {
 	// verify.(*TDynamic).Feed) to update violation state in O(|Changed|)
 	// instead of re-scanning all n outputs. The slice is pooled and reused
 	// on the next Step — copy to retain. Do not modify.
+	//dynlint:loan
+	//dynlint:sorted
 	Changed []graph.NodeID
 	// EdgeAdds and EdgeRemoves are the topology side of the round-delta
 	// plane: the sorted edge diff of this round's graph against the
@@ -253,6 +263,8 @@ type RoundInfo struct {
 	// natively by delta adversaries, synthesized by edge-list merge
 	// otherwise. Both slices are pooled and reused on the next Step — copy
 	// to retain. Do not modify.
+	//dynlint:loan
+	//dynlint:sorted
 	EdgeAdds, EdgeRemoves []graph.EdgeKey
 	Messages              int   // sub-messages delivered
 	Bits                  int64 // declared encoded bits (0 if no BitSizer)
@@ -270,6 +282,8 @@ type RoundInfo struct {
 // For a live (non-retained) RoundInfo of a sparse engine, Graph must be
 // called before the next Step; afterwards it panics, since the engine's
 // topology has moved past this round.
+//
+//dynlint:loan
 func (ri *RoundInfo) Graph() *graph.Graph {
 	if ri.g != nil {
 		return ri.g
@@ -855,6 +869,8 @@ func (e *Engine) RunUntil(maxRounds int, pred func(*RoundInfo) bool) (int, bool)
 // Outputs returns the latest output snapshot (nil before round 1). The
 // slice is pooled like RoundInfo.Outputs: it stays valid until the engine
 // plays OutputLag+1 further rounds; copy to retain beyond that.
+//
+//dynlint:loan
 func (e *Engine) Outputs() []problems.Value {
 	if e.round == 0 {
 		return nil

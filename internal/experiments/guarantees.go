@@ -51,7 +51,9 @@ func E05MISEdgeDecay(p Params) []DecayResult {
 			var hs []int
 			e.OnRound(func(info *engine.RoundInfo) {
 				if inter == nil {
-					inter = info.Graph()
+					// Clone: the round-1 graph is pooled and inter is
+					// read on every later round.
+					inter = info.Graph().Clone()
 				} else {
 					inter = graph.Intersection(inter, info.Graph())
 				}

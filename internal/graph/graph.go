@@ -104,6 +104,8 @@ func FromEdges(n int, edges []EdgeKey) *Graph {
 // their key scratch across rounds; the graph must own its edge list for
 // EdgeKeys to stay valid). It panics if the list is not strictly ascending
 // or an endpoint is out of range.
+//
+//dynlint:sorted edges
 func FromSortedEdges(n int, edges []EdgeKey) *Graph {
 	for i := 1; i < len(edges); i++ {
 		if edges[i-1] >= edges[i] {
@@ -178,6 +180,8 @@ func (g *Graph) MaxDegree() int {
 
 // Neighbors returns the sorted adjacency list of v. The returned slice
 // aliases the graph's arena and must not be modified.
+//
+//dynlint:view
 func (g *Graph) Neighbors(v NodeID) []NodeID {
 	return g.neighbors[g.offsets[v]:g.offsets[v+1]]
 }
@@ -201,6 +205,10 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 // not be modified; for pooled graphs produced by a Patcher it shares the
 // arena's lifetime (see Patcher). Diffing the edge sets of two graphs is a
 // linear merge of their EdgeKeys views (DiffSortedKeys).
+//
+//dynlint:loan
+//dynlint:view
+//dynlint:sorted
 func (g *Graph) EdgeKeys() []EdgeKey { return g.keys }
 
 // Edges returns all edges in canonical (sorted) key order, as a fresh
@@ -312,12 +320,17 @@ func (b *Builder) HasEdge(u, v NodeID) bool {
 // M returns the current number of edges.
 func (b *Builder) M() int { return len(b.edges) }
 
-// EdgeKeys returns the current edge set in unspecified order.
+// EdgeKeys returns the current edge set in ascending order. (It was
+// documented as unspecified order before dynlint's detcheck flagged the
+// map-order leak; every consumer is deterministic with the sorted form.)
+//
+//dynlint:sorted
 func (b *Builder) EdgeKeys() []EdgeKey {
 	out := make([]EdgeKey, 0, len(b.edges))
 	for k := range b.edges {
 		out = append(out, k)
 	}
+	slices.Sort(out)
 	return out
 }
 

@@ -9,6 +9,8 @@ import (
 // returns both, a single linear merge over two strictly ascending edge-key
 // lists (typically two graphs' EdgeKeys views). Callers reuse the
 // destination buffers across rounds by passing them re-sliced to length 0.
+//
+//dynlint:sorted prev cur return
 func DiffSortedKeys(prev, cur, adds, removes []EdgeKey) ([]EdgeKey, []EdgeKey) {
 	i, j := 0, 0
 	for i < len(prev) && j < len(cur) {
@@ -26,6 +28,7 @@ func DiffSortedKeys(prev, cur, adds, removes []EdgeKey) ([]EdgeKey, []EdgeKey) {
 	}
 	removes = append(removes, prev[i:]...)
 	adds = append(adds, cur[j:]...)
+	//dynlint:ignore sortedcheck two-pointer merge over ascending inputs emits ascending output by construction
 	return adds, removes
 }
 
@@ -116,6 +119,9 @@ func lo(k EdgeKey) NodeID { return NodeID(uint32(k)) }
 // corrupt every downstream window. Cost is O(n + m) with block-copy
 // constants plus O(c log c) for c = |adds| + |removes|, and zero
 // steady-state allocations.
+//
+//dynlint:loan
+//dynlint:sorted adds removes
 func (p *Patcher) Apply(adds, removes []EdgeKey) *Graph {
 	if len(adds) == 0 && len(removes) == 0 {
 		return p.cur

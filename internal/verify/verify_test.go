@@ -143,6 +143,8 @@ func TestTDynamicMIS(t *testing.T) {
 type advView struct {
 	round int
 	n     int
+	// prev may alias a pooled resolver arena, exactly like Resolver.prev.
+	//dynlint:loan
 	prev  *graph.Graph
 	awake []bool
 }

@@ -33,10 +33,20 @@ go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" \
 NUM_CPU="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
 EFFECTIVE_GOMAXPROCS="${GOMAXPROCS:-$NUM_CPU}"
 
+# The dynlint commit ties each recording to the exact contract-checker
+# state that vetted the tree (see docs/linting.md); -dirty marks
+# uncommitted changes.
+DYNLINT_COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if ! git diff --quiet 2>/dev/null || ! git diff --cached --quiet 2>/dev/null; then
+	DYNLINT_COMMIT="${DYNLINT_COMMIT}-dirty"
+fi
+DYNLINT_VERSION="$(go run ./scripts/dynlint -version 2>/dev/null || echo unknown)"
+
 awk -v date="$(date -u +%FT%TZ)" -v goversion="$(go env GOVERSION)" \
-	-v host="$(uname -sm)" -v ncpu="$NUM_CPU" -v gmp="$EFFECTIVE_GOMAXPROCS" '
+	-v host="$(uname -sm)" -v ncpu="$NUM_CPU" -v gmp="$EFFECTIVE_GOMAXPROCS" \
+	-v dlver="$DYNLINT_VERSION" -v dlcommit="$DYNLINT_COMMIT" '
 BEGIN {
-	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"host\": \"%s\",\n  \"num_cpu\": %d,\n  \"gomaxprocs\": %d,\n  \"benchmarks\": [", date, goversion, host, ncpu, gmp
+	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"host\": \"%s\",\n  \"num_cpu\": %d,\n  \"gomaxprocs\": %d,\n  \"dynlint\": \"%s\",\n  \"dynlint_commit\": \"%s\",\n  \"benchmarks\": [", date, goversion, host, ncpu, gmp, dlver, dlcommit
 	first = 1
 }
 /^Benchmark/ && NF >= 4 {

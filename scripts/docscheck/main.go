@@ -56,6 +56,14 @@ func main() {
 		}
 	}
 
+	// Load-bearing docs must exist (a rename or deletion fails here, not
+	// as a silently-skipped glob miss); the rest of docs/ is globbed.
+	required := []string{"README.md", "ARCHITECTURE.md", "docs/linting.md", "docs/benchmarking.md"}
+	for _, md := range required {
+		if _, err := os.Stat(md); err != nil {
+			problems = append(problems, fmt.Sprintf("required doc %s is missing", md))
+		}
+	}
 	mds := []string{"README.md", "ARCHITECTURE.md"}
 	globbed, _ := filepath.Glob("docs/*.md")
 	mds = append(mds, globbed...)

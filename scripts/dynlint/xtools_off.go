@@ -1,0 +1,18 @@
+//go:build !dynlint_xtools
+
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+// runXtools is the stub for builds without the dynlint_xtools tag: the
+// container builds offline, so golang.org/x/tools (pinned in go.mod, see
+// tools.go) may be absent from the module cache and the bundled passes
+// cannot be compiled in.
+func runXtools() {
+	fmt.Fprintln(os.Stderr, "dynlint: built without the dynlint_xtools tag; the bundled x/tools passes (nilness, unusedwrite, copylocks) need golang.org/x/tools in the module cache:")
+	fmt.Fprintln(os.Stderr, "  go run -tags dynlint_xtools ./scripts/dynlint -xtools ./...")
+	os.Exit(2)
+}

@@ -1,0 +1,17 @@
+//go:build dynlint_xtools
+
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/multichecker"
+	"golang.org/x/tools/go/analysis/passes/copylocks"
+	"golang.org/x/tools/go/analysis/passes/nilness"
+	"golang.org/x/tools/go/analysis/passes/unusedwrite"
+)
+
+// runXtools hands the remaining arguments to the standard x/tools
+// multichecker with the generally-useful correctness passes the dynlint
+// suite bundles. multichecker.Main exits the process itself.
+func runXtools() {
+	multichecker.Main(nilness.Analyzer, unusedwrite.Analyzer, copylocks.Analyzer)
+}

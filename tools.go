@@ -1,0 +1,15 @@
+//go:build dynlint_xtools
+
+package dynlocal
+
+// Pins golang.org/x/tools for the optional x/tools passes behind
+// `go run -tags dynlint_xtools ./scripts/dynlint -xtools`. The build tag
+// keeps the dependency out of the default build graph so the module
+// builds offline; populate the module cache (go mod download
+// golang.org/x/tools) before enabling the tag. See docs/linting.md.
+import (
+	_ "golang.org/x/tools/go/analysis/multichecker"
+	_ "golang.org/x/tools/go/analysis/passes/copylocks"
+	_ "golang.org/x/tools/go/analysis/passes/nilness"
+	_ "golang.org/x/tools/go/analysis/passes/unusedwrite"
+)
