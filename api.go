@@ -1,6 +1,8 @@
 package dynlocal
 
 import (
+	"io"
+
 	"dynlocal/internal/adversary"
 	"dynlocal/internal/algos/coloring"
 	"dynlocal/internal/algos/mis"
@@ -97,6 +99,18 @@ type (
 	// ClairvoyantAdversary is the adaptive-offline adversary of the
 	// remark after Lemma 5.2.
 	ClairvoyantAdversary = adversary.LubyStaller
+	// P2PChurnAdversary models a P2P overlay under heavy-tailed session
+	// churn: joins, Pareto session lengths, rejoin-with-fresh-id, and
+	// scheduled targeted mass departures, emitted delta-natively.
+	P2PChurnAdversary = adversary.P2PChurn
+	// MassDeparture schedules a targeted mass-departure event for
+	// P2PChurnAdversary.
+	MassDeparture = adversary.MassDeparture
+	// ScriptedAdversary replays a recorded Trace from memory.
+	ScriptedAdversary = adversary.Scripted
+	// ScriptedStreamAdversary replays a trace straight from a streaming
+	// decoder, one round per engine step, in constant memory.
+	ScriptedStreamAdversary = adversary.ScriptedStream
 )
 
 // Window and checker types.
@@ -107,6 +121,15 @@ type (
 	FracWindow = dyngraph.FracWindow
 	// Trace records dynamic graph sequences for replay.
 	Trace = dyngraph.Trace
+	// TraceStreamEncoder writes a trace one validated round at a time, so
+	// arbitrarily long runs spill to disk in constant memory.
+	TraceStreamEncoder = dyngraph.StreamEncoder
+	// TraceStreamDecoder reads and validates a trace one round at a time;
+	// hostile input errors out, it never over-allocates or panics.
+	TraceStreamDecoder = dyngraph.StreamDecoder
+	// TraceRound is one decoded round of a trace stream (loaned buffers,
+	// valid until the next pull).
+	TraceRound = dyngraph.TraceRound
 	// TDynamicChecker verifies T-dynamic solutions every round.
 	TDynamicChecker = verify.TDynamic
 	// TDynamicReport is one round's verification result.
@@ -228,6 +251,37 @@ func NewChurn(base *Graph, add, del int, seed uint64) *ChurnAdversary {
 // NewEdgeMarkov returns an edge-Markov adversary over the footprint.
 func NewEdgeMarkov(footprint *Graph, pOn, pOff float64, seed uint64) *EdgeMarkovAdversary {
 	return &adversary.EdgeMarkov{Footprint: footprint, POn: pOn, POff: pOff, Seed: seed}
+}
+
+// NewScripted replays a recorded trace as an adversary (delta-natively —
+// no graph is materialized while replaying).
+func NewScripted(tr *Trace) *ScriptedAdversary { return adversary.NewScripted(tr) }
+
+// NewScriptedStream replays a trace straight from a streaming decoder:
+// one round is pulled per engine step, so traces far larger than memory
+// replay at O(changes)/round. Check its Err after the run when the trace
+// bytes are untrusted.
+func NewScriptedStream(d *TraceStreamDecoder) *ScriptedStreamAdversary {
+	return adversary.NewScriptedStream(d)
+}
+
+// NewTrace creates an empty in-memory trace over an n-node universe.
+func NewTrace(n int) *Trace { return dyngraph.NewTrace(n) }
+
+// DecodeTrace reads a whole trace from the binary wire format into
+// memory, validating it as untrusted input.
+func DecodeTrace(r io.Reader) (*Trace, error) { return dyngraph.DecodeTrace(r) }
+
+// NewTraceStreamEncoder starts a trace stream over an n-node universe
+// holding exactly rounds rounds.
+func NewTraceStreamEncoder(w io.Writer, n, rounds int) (*TraceStreamEncoder, error) {
+	return dyngraph.NewStreamEncoder(w, n, rounds)
+}
+
+// NewTraceStreamDecoder reads and validates a trace stream header; the
+// rounds follow via Next/NextDeltas.
+func NewTraceStreamDecoder(r io.Reader) (*TraceStreamDecoder, error) {
+	return dyngraph.NewStreamDecoder(r)
 }
 
 // StaggeredSchedule wakes perRound nodes per round in id order.

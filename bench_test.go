@@ -11,7 +11,9 @@ package dynlocal
 // `go test -bench` output doubles as a compact evaluation summary.
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"slices"
 	"testing"
 
@@ -785,6 +787,124 @@ func BenchmarkSparseRound(b *testing.B) {
 }
 
 // BenchmarkStatsFit keeps the reporting path honest.
+// buildTraceWire encodes a deterministic churn trace — a GNP base graph
+// at round 1, then `rate` random edge toggles per round — through the
+// streaming encoder, returning the wire bytes.
+func buildTraceWire(b *testing.B, n, rounds, rate int) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	enc, err := dyngraph.NewStreamEncoder(&buf, n, rounds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := GNP(n, 8.0/float64(n), uint64(n))
+	present := make(map[graph.EdgeKey]bool)
+	for _, k := range base.EdgeKeys() {
+		present[k] = true
+	}
+	if err := enc.WriteRound(adversary.AllNodes(n), base.EdgeKeys(), nil); err != nil {
+		b.Fatal(err)
+	}
+	s := prf.NewStream(uint64(n+rate), 0, 0, prf.PurposeWorkload)
+	var adds, removes []graph.EdgeKey
+	for r := 2; r <= rounds; r++ {
+		adds, removes = adds[:0], removes[:0]
+		for j := 0; j < rate; j++ {
+			u := graph.NodeID(s.Intn(n))
+			v := graph.NodeID(s.Intn(n))
+			if u == v {
+				continue
+			}
+			k := graph.MakeEdgeKey(u, v)
+			// A key toggled twice in one round cancels to a net no-op —
+			// the diff must be an exact set difference.
+			if present[k] {
+				present[k] = false
+				if i := slices.Index(adds, k); i >= 0 {
+					adds = slices.Delete(adds, i, i+1)
+				} else {
+					removes = append(removes, k)
+				}
+			} else {
+				present[k] = true
+				if i := slices.Index(removes, k); i >= 0 {
+					removes = slices.Delete(removes, i, i+1)
+				} else {
+					adds = append(adds, k)
+				}
+			}
+		}
+		slices.Sort(adds)
+		slices.Sort(removes)
+		if err := enc.WriteRound(nil, adds, removes); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkTraceReplay compares the two trace replay paths on long
+// recorded schedules: DecodeTrace + ReplayDeltas materializes the whole
+// trace in memory (allocations scale with trace length), while
+// StreamDecoder pulls one validated round at a time from reused buffers
+// (allocations independent of trace length — compare rounds=512 against
+// rounds=4096 at N=4096). allocs/op is the headline; ns/round the
+// throughput view.
+func BenchmarkTraceReplay(b *testing.B) {
+	const rate = 48
+	configs := []struct{ n, rounds int }{
+		{4096, 512},
+		{4096, 4096},
+		{65536, 512},
+	}
+	for _, cfg := range configs {
+		wire := buildTraceWire(b, cfg.n, cfg.rounds, rate)
+		tag := fmt.Sprintf("N=%d/rounds=%d", cfg.n, cfg.rounds)
+		b.Run(tag+"/inmemory", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(wire)))
+			edges := 0
+			for i := 0; i < b.N; i++ {
+				tr, err := dyngraph.DecodeTrace(bytes.NewReader(wire))
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr.ReplayDeltas(func(_ int, adds, _ []graph.EdgeKey, _ []graph.NodeID) {
+					edges += len(adds)
+				})
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*cfg.rounds), "ns/round")
+			_ = edges
+		})
+		b.Run(tag+"/streaming", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(wire)))
+			edges := 0
+			for i := 0; i < b.N; i++ {
+				d, err := dyngraph.NewStreamDecoder(bytes.NewReader(wire))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for {
+					tr, err := d.Next()
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					edges += len(tr.Adds)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*cfg.rounds), "ns/round")
+			_ = edges
+		})
+	}
+}
+
 func BenchmarkStatsFit(b *testing.B) {
 	ns := []int{128, 256, 512, 1024, 2048, 4096}
 	y := []float64{10, 12, 14, 16, 18, 20}

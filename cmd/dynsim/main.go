@@ -8,6 +8,13 @@
 //	go run ./cmd/dynsim -problem mis -algo combined -adversary churn -n 1024 -rounds 200
 //	go run ./cmd/dynsim -problem coloring -algo greedy -adversary markov -csv
 //	go run ./cmd/dynsim -problem mis -algo restart -adversary static -n 512
+//	go run ./cmd/dynsim -adversary p2p -n 4096 -rounds 500 -record run.trace
+//	go run ./cmd/dynsim -trace run.trace
+//
+// -record streams every round's wake set and topology diff to a trace
+// file; -trace replays such a file (node count and, by default, round
+// count come from its header) through the streaming decoder, so traces
+// far larger than memory replay in constant memory.
 package main
 
 import (
@@ -49,7 +56,7 @@ func run(args []string, out io.Writer) (invalidRounds int, strict bool, err erro
 	fs := flag.NewFlagSet("dynsim", flag.ContinueOnError)
 	problem := fs.String("problem", "mis", "problem: mis | coloring")
 	algo := fs.String("algo", "combined", "algorithm: combined | dynamic | static | greedy | restart")
-	adversaryKind := fs.String("adversary", "churn", "adversary: static | churn | markov")
+	adversaryKind := fs.String("adversary", "churn", "adversary: static | churn | markov | p2p")
 	n := fs.Int("n", 512, "number of nodes")
 	rounds := fs.Int("rounds", 200, "rounds to simulate")
 	churn := fs.Int("churn", 8, "edges inserted+deleted per round (churn adversary)")
@@ -58,6 +65,8 @@ func run(args []string, out io.Writer) (invalidRounds int, strict bool, err erro
 	seed := fs.Uint64("seed", 1, "random seed")
 	every := fs.Int("every", 10, "print a row every k rounds")
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	tracePath := fs.String("trace", "", "replay a recorded trace file instead of running an adversary (-n and default -rounds come from its header)")
+	recordPath := fs.String("record", "", "record the run's rounds to a trace file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0, false, err
@@ -65,7 +74,28 @@ func run(args []string, out io.Writer) (invalidRounds int, strict bool, err erro
 		return 0, false, fmt.Errorf("%w: %v", errFlagParse, err)
 	}
 
-	base := dynlocal.GNP(*n, *avgDeg/float64(*n), *seed)
+	// A replayed trace dictates the node universe and, unless -rounds was
+	// given explicitly, the round count; its header must be read before
+	// the algorithm (sized by n) is built.
+	var streamed *dynlocal.ScriptedStreamAdversary
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return 0, false, err
+		}
+		defer f.Close()
+		dec, err := dynlocal.NewTraceStreamDecoder(f)
+		if err != nil {
+			return 0, false, fmt.Errorf("reading trace %s: %w", *tracePath, err)
+		}
+		*n = dec.N()
+		roundsSet := false
+		fs.Visit(func(fl *flag.Flag) { roundsSet = roundsSet || fl.Name == "rounds" })
+		if !roundsSet {
+			*rounds = dec.Rounds()
+		}
+		streamed = dynlocal.NewScriptedStream(dec)
+	}
 
 	var pc dynlocal.Problem
 	var algorithm dynlocal.Algorithm
@@ -115,19 +145,49 @@ func run(args []string, out io.Writer) (invalidRounds int, strict bool, err erro
 	}
 
 	var adv dynlocal.Adversary
-	switch *adversaryKind {
-	case "static":
-		adv = dynlocal.StaticAdversary{G: base}
-	case "churn":
-		adv = dynlocal.NewChurn(base, *churn, *churn, *seed+1)
-	case "markov":
-		adv = dynlocal.NewEdgeMarkov(base, *flap, *flap, *seed+1)
-	default:
-		return 0, false, fmt.Errorf("unknown -adversary %q", *adversaryKind)
+	if streamed != nil {
+		adv = streamed
+		*adversaryKind = "trace"
+	} else {
+		switch *adversaryKind {
+		case "static":
+			adv = dynlocal.StaticAdversary{G: dynlocal.GNP(*n, *avgDeg/float64(*n), *seed)}
+		case "churn":
+			adv = dynlocal.NewChurn(dynlocal.GNP(*n, *avgDeg/float64(*n), *seed), *churn, *churn, *seed+1)
+		case "markov":
+			adv = dynlocal.NewEdgeMarkov(dynlocal.GNP(*n, *avgDeg/float64(*n), *seed), *flap, *flap, *seed+1)
+		case "p2p":
+			adv = &dynlocal.P2PChurnAdversary{
+				N:            *n,
+				Init:         *n / 8,
+				JoinPerRound: *churn,
+				Seed:         *seed + 1,
+			}
+		default:
+			return 0, false, fmt.Errorf("unknown -adversary %q", *adversaryKind)
+		}
 	}
 
 	eng := dynlocal.NewEngine(dynlocal.EngineConfig{N: *n, Seed: *seed}, adv, algorithm)
 	check := dynlocal.NewTDynamicChecker(pc, window, *n)
+
+	var rec *dynlocal.TraceStreamEncoder
+	if *recordPath != "" {
+		f, err := os.Create(*recordPath)
+		if err != nil {
+			return 0, false, err
+		}
+		defer f.Close()
+		rec, err = dynlocal.NewTraceStreamEncoder(f, *n, *rounds)
+		if err != nil {
+			return 0, false, err
+		}
+		eng.OnRound(func(info *dynlocal.RoundInfo) {
+			if err := rec.WriteRound(info.Wake, info.EdgeAdds, info.EdgeRemoves); err != nil {
+				log.Fatalf("recording round %d: %v", info.Round, err)
+			}
+		})
+	}
 
 	table := stats.NewTable("round", "outputs", "core", "invalid?", "packViol", "coverViol", "msgs")
 	eng.OnRound(func(info *dynlocal.RoundInfo) {
@@ -148,6 +208,16 @@ func run(args []string, out io.Writer) (invalidRounds int, strict bool, err erro
 			len(rep.PackingViolations), len(rep.CoverViolations), info.Messages)
 	})
 	eng.Run(*rounds)
+	if rec != nil {
+		if err := rec.Close(); err != nil {
+			return 0, false, fmt.Errorf("recording trace: %w", err)
+		}
+	}
+	if streamed != nil {
+		if err := streamed.Err(); err != nil {
+			return 0, false, fmt.Errorf("replaying trace %s: %w", *tracePath, err)
+		}
+	}
 
 	fmt.Fprintf(out, "%s / %s / %s: n=%d, window T=%d, %d rounds\n\n",
 		*problem, *algo, *adversaryKind, *n, window, *rounds)

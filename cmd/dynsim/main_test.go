@@ -47,6 +47,49 @@ func TestRunColoringCSV(t *testing.T) {
 	}
 }
 
+// TestRunRecordAndReplayTrace drives the full record→replay loop: a p2p
+// churn run recorded to a trace file, then replayed through the
+// streaming decoder, must report the identical verdict (the trace fully
+// determines topology and wake-ups, and engine randomness is seeded).
+func TestRunRecordAndReplayTrace(t *testing.T) {
+	trace := t.TempDir() + "/run.trace"
+	var recOut strings.Builder
+	recInvalid, _, err := run([]string{
+		"-problem", "mis", "-algo", "combined", "-adversary", "p2p",
+		"-n", "128", "-rounds", "40", "-churn", "2", "-every", "20",
+		"-record", trace,
+	}, &recOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(recOut.String(), "mis / combined / p2p") {
+		t.Fatalf("missing header in record output:\n%s", recOut.String())
+	}
+
+	var repOut strings.Builder
+	repInvalid, _, err := run([]string{
+		"-problem", "mis", "-algo", "combined", "-trace", trace, "-every", "20",
+	}, &repOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repInvalid != recInvalid {
+		t.Fatalf("replay reported %d invalid rounds, recording %d", repInvalid, recInvalid)
+	}
+	if !strings.Contains(repOut.String(), "mis / combined / trace: n=128") {
+		t.Fatalf("replay header did not pick up the trace universe:\n%s", repOut.String())
+	}
+	if !strings.Contains(repOut.String(), "invalid rounds: ") {
+		t.Fatalf("missing verdict in replay output:\n%s", repOut.String())
+	}
+}
+
+func TestRunRejectsMissingTraceFile(t *testing.T) {
+	if _, _, err := run([]string{"-trace", "/nonexistent/x.trace"}, &strings.Builder{}); err == nil {
+		t.Fatal("expected error for missing trace file")
+	}
+}
+
 func TestRunRejectsUnknownFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-problem", "nosuch"},

@@ -51,6 +51,7 @@
 package adversary
 
 import (
+	"io"
 	"slices"
 
 	"dynlocal/internal/graph"
@@ -359,6 +360,60 @@ func (s *Scripted) Step(v View) Step {
 	last := s.steps[len(s.steps)-1]
 	return Step{G: last.G}
 }
+
+// DeltaStreamSource is the streaming replay surface of
+// dyngraph.StreamDecoder (its NextDeltas method), declared locally to
+// keep the package dependency-light: one validated round of deltas per
+// call, io.EOF after the last. The returned slices may alias source-owned
+// buffers reused on the next call.
+type DeltaStreamSource interface {
+	NextDeltas() (wake []graph.NodeID, adds, removes []graph.EdgeKey, err error)
+}
+
+// ScriptedStream replays a trace straight from a streaming decoder, one
+// round per engine step, without ever holding more than the current round
+// in memory — the constant-memory sibling of Scripted for traces too
+// large to materialize. The decoder's loaned slices pass through Step
+// unchanged (a sanctioned loan-to-loan handoff: the engine consumes a
+// step's slices within the round, and the source reuses them only on the
+// next pull). After the source reports io.EOF the final topology persists
+// as empty diffs, matching Scripted.
+//
+// A decode error mid-run cannot be reported through the Adversary
+// interface; the stream freezes the topology (empty diffs from then on)
+// and exposes the error via Err, which callers replaying untrusted traces
+// must check after the run.
+type ScriptedStream struct {
+	src  DeltaStreamSource
+	done bool
+	err  error
+}
+
+// NewScriptedStream wraps a streaming delta source as an adversary.
+func NewScriptedStream(src DeltaStreamSource) *ScriptedStream {
+	return &ScriptedStream{src: src}
+}
+
+// Step implements Adversary. The returned slices alias decoder-owned
+// buffers valid for the round only.
+func (s *ScriptedStream) Step(v View) Step {
+	if s.done {
+		return Step{}
+	}
+	wake, adds, removes, err := s.src.NextDeltas()
+	if err != nil {
+		s.done = true
+		if err != io.EOF {
+			s.err = err
+		}
+		return Step{}
+	}
+	return Step{Wake: wake, EdgeAdds: adds, EdgeRemoves: removes}
+}
+
+// Err returns the first decode error the source reported, or nil if the
+// stream ended cleanly (or has not ended yet).
+func (s *ScriptedStream) Err() error { return s.err }
 
 // advStream returns the adversary-owned random stream for a round.
 // Adversary randomness is keyed with node id -1 so it never collides with

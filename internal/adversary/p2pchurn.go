@@ -1,0 +1,263 @@
+package adversary
+
+import (
+	"slices"
+
+	"dynlocal/internal/graph"
+	"dynlocal/internal/prf"
+)
+
+// MassDeparture schedules a targeted churn event: at the given round the
+// Frac·|live| highest-degree live nodes (ties broken by id) depart
+// together — the adversarial "take out the hubs" attack from the P2P
+// churn literature.
+type MassDeparture struct {
+	Round int
+	Frac  float64
+}
+
+// P2PChurn models a peer-to-peer overlay under session churn, after
+// Augustine et al.'s dynamic P2P network model (PAPERS.md): nodes join
+// over time, connect to a few random live peers, stay for a heavy-tailed
+// (Pareto) session length, then depart — taking all their edges with
+// them — and later rejoin as a fresh identity. Scheduled MassDeparture
+// events additionally remove the highest-degree peers at once.
+//
+// Departures cannot "sleep" a node — the model's wake-ups are monotone —
+// so a departed node simply keeps its (frozen) state with no edges,
+// forever, and the rejoining peer is a brand-new node id. Fresh ids come
+// from a bump allocator over the N-id universe; once it is exhausted,
+// joins stop silently, so N bounds the total number of sessions across
+// the run, not the concurrent population (size the universe accordingly,
+// e.g. N ≥ Init + rounds·JoinPerRound).
+//
+// P2PChurn is delta-native and deterministic for any worker count: every
+// round is emitted as a sorted edge diff from reused buffers, all
+// randomness comes from per-round PRF streams keyed by Seed, and the only
+// maps are used for keyed access (never ranged).
+type P2PChurn struct {
+	// N is the id-universe size (must match the engine's).
+	N int
+	// Init nodes are live at round 1 (default min(N, 64)).
+	Init int
+	// JoinPerRound fresh nodes join every round (besides rejoins).
+	JoinPerRound int
+	// Degree is how many random live peers a joining node connects to
+	// (default 3; capped by the live population).
+	Degree int
+	// SessionAlpha is the Pareto tail exponent of session lengths
+	// (default 1.5 — heavy-tailed, infinite variance).
+	SessionAlpha float64
+	// SessionMin is the minimum session length in rounds (default 8);
+	// sessions last max(SessionMin, ⌊SessionMin·Pareto(SessionAlpha)⌋).
+	SessionMin int
+	// RejoinDelay is how many rounds after a departure the peer behind it
+	// rejoins with a fresh id (default 4; <0 disables rejoining).
+	RejoinDelay int
+	// Events are scheduled targeted mass departures.
+	Events []MassDeparture
+	Seed   uint64
+
+	started bool
+	nextID  graph.NodeID
+	// live lists the live node ids in deterministic (insertion/swap)
+	// order; liveIdx maps id → position for O(1) membership and removal.
+	live    []graph.NodeID
+	liveIdx map[graph.NodeID]int
+	// nbrs is the adjacency of live nodes (slices in deterministic
+	// insertion order; the map is only ever accessed by key).
+	nbrs map[graph.NodeID][]graph.NodeID
+	// sessEnd buckets node ids by their scheduled departure round;
+	// rejoins counts fresh joins owed at a round. Both are keyed by
+	// round and consumed (deleted) as rounds pass.
+	sessEnd map[int][]graph.NodeID
+	rejoins map[int]int
+	// eventAt is Events re-indexed by round.
+	eventAt map[int]float64
+
+	wakeBuf []graph.NodeID
+	addBuf  []graph.EdgeKey
+	remBuf  []graph.EdgeKey
+	topBuf  []graph.NodeID // scratch for mass-departure target selection
+}
+
+func (p *P2PChurn) defaults() (init, degree, sessMin, rejoin int, alpha float64) {
+	init = p.Init
+	if init <= 0 {
+		init = 64
+	}
+	if init > p.N {
+		init = p.N
+	}
+	degree = p.Degree
+	if degree <= 0 {
+		degree = 3
+	}
+	sessMin = p.SessionMin
+	if sessMin <= 0 {
+		sessMin = 8
+	}
+	rejoin = p.RejoinDelay
+	if rejoin == 0 {
+		rejoin = 4
+	}
+	alpha = p.SessionAlpha
+	if alpha <= 0 {
+		alpha = 1.5
+	}
+	return init, degree, sessMin, rejoin, alpha
+}
+
+func (p *P2PChurn) init() {
+	p.liveIdx = make(map[graph.NodeID]int)
+	p.nbrs = make(map[graph.NodeID][]graph.NodeID)
+	p.sessEnd = make(map[int][]graph.NodeID)
+	p.rejoins = make(map[int]int)
+	p.eventAt = make(map[int]float64)
+	for _, ev := range p.Events {
+		p.eventAt[ev.Round] = ev.Frac
+	}
+	p.started = true
+}
+
+// sessionLen draws a heavy-tailed session length in rounds.
+func (p *P2PChurn) sessionLen(s *prf.Stream, sessMin int, alpha float64) int {
+	l := int(float64(sessMin) * s.Pareto(alpha))
+	if l < sessMin {
+		l = sessMin
+	}
+	return l
+}
+
+// join brings one fresh node up: allocates the next id, wakes it,
+// connects it to up to degree distinct random live peers and schedules
+// its departure. Returns false when the id universe is exhausted.
+func (p *P2PChurn) join(s *prf.Stream, round, degree, sessMin int, alpha float64, wake []graph.NodeID, adds []graph.EdgeKey) ([]graph.NodeID, []graph.EdgeKey, bool) {
+	if int(p.nextID) >= p.N {
+		return wake, adds, false
+	}
+	v := p.nextID
+	p.nextID++
+	wake = append(wake, v)
+	want := degree
+	if want > len(p.live) {
+		want = len(p.live)
+	}
+	for picked := 0; picked < want; {
+		u := p.live[s.Intn(len(p.live))]
+		if slices.Contains(p.nbrs[v], u) {
+			continue // already a neighbor; live peers are distinct from v by construction
+		}
+		p.nbrs[v] = append(p.nbrs[v], u)
+		p.nbrs[u] = append(p.nbrs[u], v)
+		adds = append(adds, graph.MakeEdgeKey(u, v))
+		picked++
+	}
+	p.liveIdx[v] = len(p.live)
+	p.live = append(p.live, v)
+	end := round + p.sessionLen(s, sessMin, alpha)
+	p.sessEnd[end] = append(p.sessEnd[end], v)
+	return wake, adds, true
+}
+
+// departID removes live node v: emits removals for all its edges, drops
+// it from the neighbors' adjacency and from the live list, and schedules
+// a fresh-id rejoin. Callers must have verified liveIdx membership.
+func (p *P2PChurn) departID(v graph.NodeID, round, rejoin int, removes []graph.EdgeKey) []graph.EdgeKey {
+	for _, u := range p.nbrs[v] {
+		removes = append(removes, graph.MakeEdgeKey(u, v))
+		// Swap-delete v from u's adjacency; if u departs later this
+		// round its list no longer holds v, so no edge is emitted twice.
+		nu := p.nbrs[u]
+		i := slices.Index(nu, v)
+		nu[i] = nu[len(nu)-1]
+		p.nbrs[u] = nu[:len(nu)-1]
+	}
+	delete(p.nbrs, v)
+	i := p.liveIdx[v]
+	last := len(p.live) - 1
+	p.live[i] = p.live[last]
+	p.liveIdx[p.live[i]] = i
+	p.live = p.live[:last]
+	delete(p.liveIdx, v)
+	if rejoin >= 0 {
+		p.rejoins[round+rejoin]++
+	}
+	return removes
+}
+
+// massTargets selects the ⌈frac·|live|⌉ highest-degree live nodes,
+// ties broken by smaller id first.
+func (p *P2PChurn) massTargets(frac float64) []graph.NodeID {
+	k := int(frac*float64(len(p.live)) + 0.999999)
+	if k <= 0 {
+		return nil
+	}
+	if k > len(p.live) {
+		k = len(p.live)
+	}
+	p.topBuf = append(p.topBuf[:0], p.live...)
+	slices.SortFunc(p.topBuf, func(a, b graph.NodeID) int {
+		da, db := len(p.nbrs[a]), len(p.nbrs[b])
+		if da != db {
+			return db - da
+		}
+		return int(a) - int(b)
+	})
+	return p.topBuf[:k]
+}
+
+// Step implements Adversary. Every round is a delta step whose wake and
+// diff buffers are reused on the next call.
+func (p *P2PChurn) Step(view View) Step {
+	if !p.started {
+		p.init()
+	}
+	init, degree, sessMin, rejoin, alpha := p.defaults()
+	round := view.Round()
+	s := advStream(p.Seed, round)
+	wake := p.wakeBuf[:0]
+	adds := p.addBuf[:0]
+	removes := p.remBuf[:0]
+
+	if round == 1 {
+		// The initial population joins all at once: node i connects to
+		// random peers among nodes 0..i-1, the standard random-attachment
+		// bootstrap.
+		for i := 0; i < init; i++ {
+			var ok bool
+			if wake, adds, ok = p.join(&s, round, degree, sessMin, alpha, wake, adds); !ok {
+				break
+			}
+		}
+	} else {
+		// Departures first (session expiries, then the scheduled mass
+		// event), then joins — a rejoining peer can connect to survivors
+		// of the same round's churn.
+		for _, v := range p.sessEnd[round] {
+			if _, ok := p.liveIdx[v]; !ok {
+				continue // already taken out by a mass event
+			}
+			removes = p.departID(v, round, rejoin, removes)
+		}
+		delete(p.sessEnd, round)
+		if frac, ok := p.eventAt[round]; ok {
+			for _, v := range p.massTargets(frac) {
+				removes = p.departID(v, round, rejoin, removes)
+			}
+		}
+		joins := p.JoinPerRound + p.rejoins[round]
+		delete(p.rejoins, round)
+		for i := 0; i < joins; i++ {
+			var ok bool
+			if wake, adds, ok = p.join(&s, round, degree, sessMin, alpha, wake, adds); !ok {
+				break
+			}
+		}
+	}
+
+	slices.Sort(adds)
+	slices.Sort(removes)
+	p.wakeBuf, p.addBuf, p.remBuf = wake, adds, removes
+	return Step{Wake: wake, EdgeAdds: adds, EdgeRemoves: removes}
+}

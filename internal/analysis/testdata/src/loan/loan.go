@@ -71,5 +71,37 @@ func suppressed(k *Keeper, r *Round) {
 	k.got = r.Outputs
 }
 
+// Decoder mimics a streaming-decoder iterator: every Next hands out the
+// same pooled record, overwritten by the following call.
+type Decoder struct {
+	cur Round
+}
+
+// Next returns a loaned round valid only until the next call.
+//
+//dynlint:loan
+func (d *Decoder) Next() *Round { return &d.cur }
+
+func escapesIterator(k *Keeper, d *Decoder) {
+	k.round = d.Next() // want "stored in field"
+}
+
+func escapesIteratorField(k *Keeper, d *Decoder) {
+	r := d.Next()
+	k.got = r.Outputs // want "stored in field"
+}
+
+func drainsIteratorCleanly(k *Keeper, d *Decoder) {
+	sum := 0
+	for i := 0; i < 3; i++ {
+		r := d.Next()
+		for _, o := range r.Outputs {
+			sum += o // consuming within the pull is fine
+		}
+		k.got = append([]int(nil), r.Outputs...) // copying to retain is fine
+	}
+	_ = sum
+}
+
 // Clone returns an owned copy of xs.
 func Clone(xs []int) []int { return append([]int(nil), xs...) }

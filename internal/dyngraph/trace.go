@@ -1,12 +1,9 @@
 package dyngraph
 
 import (
-	"bufio"
-	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
-	"math"
+	"slices"
 
 	"dynlocal/internal/graph"
 )
@@ -121,175 +118,60 @@ func (t *Trace) GraphAt(round int) *graph.Graph {
 const traceMagic = "DYNT"
 const traceVersion = 1
 
-// Encode writes the trace in the binary wire format.
-func (t *Trace) Encode(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(traceMagic); err != nil {
+// EncodeTraceTo streams the trace into w through a StreamEncoder — the
+// single implementation of the wire format — one round at a time. Encode
+// is the legacy name for the same operation.
+func (t *Trace) EncodeTraceTo(w io.Writer) error {
+	enc, err := NewStreamEncoder(w, t.n, len(t.rounds))
+	if err != nil {
 		return err
 	}
-	putUvarint(bw, traceVersion)
-	putUvarint(bw, uint64(t.n))
-	putUvarint(bw, uint64(len(t.rounds)))
+	var addBuf, remBuf []graph.EdgeKey
 	for _, st := range t.rounds {
-		putUvarint(bw, uint64(len(st.wake)))
-		for _, v := range st.wake {
-			putUvarint(bw, uint64(uint32(v)))
-		}
-		writeEdgeList(bw, st.added)
-		writeEdgeList(bw, st.removed)
-	}
-	return bw.Flush()
-}
-
-func writeEdgeList(bw *bufio.Writer, edges []graph.EdgeKey) {
-	sorted := append([]graph.EdgeKey(nil), edges...)
-	for i := 1; i < len(sorted); i++ {
-		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
-			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		// Steps built by Append or DecodeTrace are already ascending, but
+		// the wire format requires it, so sort scratch copies defensively.
+		addBuf = append(addBuf[:0], st.added...)
+		remBuf = append(remBuf[:0], st.removed...)
+		slices.Sort(addBuf)
+		slices.Sort(remBuf)
+		if err := enc.WriteRound(st.wake, addBuf, remBuf); err != nil {
+			return err
 		}
 	}
-	putUvarint(bw, uint64(len(sorted)))
-	prev := uint64(0)
-	for _, k := range sorted {
-		putUvarint(bw, uint64(k)-prev)
-		prev = uint64(k)
-	}
+	return enc.Close()
 }
 
-func putUvarint(bw *bufio.Writer, v uint64) {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], v)
-	bw.Write(buf[:n]) //nolint:errcheck // bufio.Writer errors surface at Flush
-}
+// Encode writes the trace in the binary wire format.
+func (t *Trace) Encode(w io.Writer) error { return t.EncodeTraceTo(w) }
 
-// decodePrealloc caps the capacity handed to make() while decoding, so a
-// corrupt or hostile header claiming billions of entries cannot allocate
-// unbounded memory from a tiny input: beyond the cap, slices grow only as
-// fast as actual input is consumed (every claimed entry costs at least one
-// input byte, so truncated input fails with ErrUnexpectedEOF first).
-const decodePrealloc = 1 << 16
-
-// MaxDecodeNodes bounds the node universe a decoded trace may declare.
-// Replaying a trace materializes O(n) graphs, so without this bound a
-// 14-byte hostile header claiming n = 2³¹−1 would defer a multi-gigabyte
-// allocation to the first Replay/GraphAt call. The bound is a decoder
-// sanity limit for untrusted input only — traces built in memory via
-// NewTrace are not restricted — and sits far above the simulator's
-// largest experiment sizes.
-const MaxDecodeNodes = 1 << 20
-
-// DecodeTrace reads a trace from the binary wire format. The input is
-// treated as untrusted: element counts, node ids, edge keys and the
-// delta encoding are validated, and corrupt input yields an error rather
-// than an oversized allocation here or a panic in a later Replay.
+// DecodeTrace reads a whole trace from the binary wire format into
+// memory: a thin wrapper that drains a StreamDecoder, copying each
+// round's loaned deltas into trace-owned storage. The input is treated as
+// untrusted exactly as the decoder treats it — element counts, node ids,
+// edge keys and the delta encoding are validated round by round, and
+// corrupt input yields an error rather than an oversized allocation here
+// or a panic in a later Replay.
 func DecodeTrace(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(traceMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("dyngraph: reading magic: %w", err)
-	}
-	if string(magic) != traceMagic {
-		return nil, errors.New("dyngraph: bad trace magic")
-	}
-	version, err := binary.ReadUvarint(br)
+	d, err := NewStreamDecoder(r)
 	if err != nil {
 		return nil, err
 	}
-	if version != traceVersion {
-		return nil, fmt.Errorf("dyngraph: unsupported trace version %d", version)
+	t := NewTrace(d.N())
+	if d.rounds < decodePrealloc {
+		t.rounds = make([]step, 0, d.rounds)
 	}
-	n64, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, err
-	}
-	if n64 > MaxDecodeNodes {
-		return nil, fmt.Errorf("dyngraph: trace node universe %d exceeds decode limit %d", n64, MaxDecodeNodes)
-	}
-	rounds, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, err
-	}
-	t := NewTrace(int(n64))
-	if rounds < decodePrealloc {
-		t.rounds = make([]step, 0, rounds)
-	}
-	// present tracks the replayed edge set so the deltas are validated for
-	// consistency: every addition must be of an absent edge, every removal
-	// of a present one. Downstream delta consumers (adversary.Scripted
-	// feeding the engine's graph patcher) treat inconsistent diffs as
-	// programming errors and panic, so hostile wire input must be rejected
-	// here with an error instead. Memory is bounded by the input size —
-	// every tracked edge costs at least one encoded byte.
-	present := make(map[graph.EdgeKey]struct{})
-	for i := uint64(0); i < rounds; i++ {
-		var st step
-		wn, err := binary.ReadUvarint(br)
+	for {
+		tr, err := d.Next()
+		if err == io.EOF {
+			return t, nil
+		}
 		if err != nil {
 			return nil, err
 		}
-		if wn < decodePrealloc {
-			st.wake = make([]graph.NodeID, 0, wn)
-		}
-		for j := uint64(0); j < wn; j++ {
-			v, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, err
-			}
-			if v >= n64 {
-				return nil, fmt.Errorf("dyngraph: trace round %d: wake id %d outside [0,%d)", i+1, v, n64)
-			}
-			st.wake = append(st.wake, graph.NodeID(uint32(v)))
-		}
-		if st.added, err = readEdgeList(br, n64); err != nil {
-			return nil, fmt.Errorf("dyngraph: trace round %d added edges: %w", i+1, err)
-		}
-		if st.removed, err = readEdgeList(br, n64); err != nil {
-			return nil, fmt.Errorf("dyngraph: trace round %d removed edges: %w", i+1, err)
-		}
-		for _, k := range st.added {
-			if _, ok := present[k]; ok {
-				return nil, fmt.Errorf("dyngraph: trace round %d adds already-present edge %v", i+1, k)
-			}
-			present[k] = struct{}{}
-		}
-		for _, k := range st.removed {
-			if _, ok := present[k]; !ok {
-				return nil, fmt.Errorf("dyngraph: trace round %d removes absent edge %v", i+1, k)
-			}
-			delete(present, k)
-		}
-		t.rounds = append(t.rounds, st)
+		t.rounds = append(t.rounds, step{
+			wake:    append([]graph.NodeID(nil), tr.Wake...),
+			added:   append([]graph.EdgeKey(nil), tr.Adds...),
+			removed: append([]graph.EdgeKey(nil), tr.Removes...),
+		})
 	}
-	return t, nil
-}
-
-func readEdgeList(br *bufio.Reader, n uint64) ([]graph.EdgeKey, error) {
-	cnt, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, err
-	}
-	var out []graph.EdgeKey
-	if cnt < decodePrealloc {
-		out = make([]graph.EdgeKey, 0, cnt)
-	}
-	prev := uint64(0)
-	for i := uint64(0); i < cnt; i++ {
-		d, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, err
-		}
-		if i > 0 && d == 0 {
-			return nil, fmt.Errorf("dyngraph: duplicate edge key %#x in delta encoding", prev)
-		}
-		if d > math.MaxUint64-prev {
-			return nil, errors.New("dyngraph: edge-key delta overflows")
-		}
-		prev += d
-		u, v := prev>>32, prev&0xffffffff
-		if u >= v || v >= n {
-			return nil, fmt.Errorf("dyngraph: edge key %#x invalid for %d nodes", prev, n)
-		}
-		out = append(out, graph.EdgeKey(prev))
-	}
-	return out, nil
 }

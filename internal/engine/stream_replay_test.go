@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"dynlocal/internal/adversary"
+	"dynlocal/internal/dyngraph"
+)
+
+// The streaming trace plane's engine-facing contract: a run recorded
+// through dyngraph.StreamEncoder and replayed through
+// adversary.ScriptedStream is indistinguishable — outputs, accounting,
+// Changed sets, round diffs — from both the live run and an in-memory
+// adversary.Scripted replay, for every worker count. These tests are the
+// streaming-vs-materialized equivalence leg of the PR 8 conformance
+// suite; run them under -race.
+
+func p2pAdv(n int) func() adversary.Adversary {
+	return func() adversary.Adversary {
+		return &adversary.P2PChurn{
+			N:            n,
+			Init:         n / 8,
+			JoinPerRound: 3,
+			Degree:       3,
+			SessionMin:   4,
+			RejoinDelay:  2,
+			Events:       []adversary.MassDeparture{{Round: 10, Frac: 0.4}},
+			Seed:         23,
+		}
+	}
+}
+
+// recordWire runs the adversary on a single-worker reference engine and
+// records every round's wake set and topology diff into the trace wire
+// format.
+func recordWire(t *testing.T, n, rounds int, mkAdv func() adversary.Adversary) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc, err := dyngraph.NewStreamEncoder(&buf, n, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{N: n, Seed: 42, Workers: 1}, mkAdv(), sizedAlgo{})
+	e.OnRound(func(info *RoundInfo) {
+		if err := enc.WriteRound(info.Wake, info.EdgeAdds, info.EdgeRemoves); err != nil {
+			t.Fatalf("recording round %d: %v", info.Round, err)
+		}
+	})
+	e.Run(rounds)
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStreamingVsMaterializedReplay records a P2PChurn run, then replays
+// it three ways — live adversary, in-memory Scripted over DecodeTrace,
+// and ScriptedStream straight off the wire bytes — across worker counts,
+// requiring bit-identical round traces. The replays run a few rounds past
+// the recording's end, pinning that both script kinds persist the final
+// topology as empty diffs.
+func TestStreamingVsMaterializedReplay(t *testing.T) {
+	const n = 256
+	const recorded = 24
+	const rounds = recorded + 4
+	wire := recordWire(t, n, recorded, p2pAdv(n))
+
+	tr, err := dyngraph.DecodeTrace(bytes.NewReader(wire))
+	if err != nil {
+		t.Fatalf("decoding recorded wire: %v", err)
+	}
+	// The in-memory scripted replay is the reference for all rounds
+	// (including the frozen tail past the recording); the live run pins
+	// the recorded prefix — past it the live adversary keeps churning.
+	ref := collectTrace(n, 1, rounds, func() adversary.Adversary {
+		return adversary.NewScripted(tr)
+	}, sizedAlgo{})
+	live := collectTrace(n, 1, recorded, p2pAdv(n), sizedAlgo{})
+	diffTraces(t, "live-vs-scripted", live, ref)
+
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, w := range workerCounts {
+		got := collectTrace(n, w, rounds, func() adversary.Adversary {
+			return adversary.NewScripted(tr)
+		}, sizedAlgo{})
+		diffTraces(t, fmt.Sprintf("scripted/workers=%d", w), ref, got)
+
+		var ss *adversary.ScriptedStream
+		got = collectTrace(n, w, rounds, func() adversary.Adversary {
+			dec, err := dyngraph.NewStreamDecoder(bytes.NewReader(wire))
+			if err != nil {
+				t.Fatalf("stream header: %v", err)
+			}
+			ss = adversary.NewScriptedStream(dec)
+			return ss
+		}, sizedAlgo{})
+		if err := ss.Err(); err != nil {
+			t.Fatalf("workers=%d: streamed replay error: %v", w, err)
+		}
+		diffTraces(t, fmt.Sprintf("streamed/workers=%d", w), ref, got)
+	}
+}
+
+// TestP2PChurnDeterminismAcrossWorkerCounts runs the live P2PChurn
+// adversary for Workers ∈ {1, 4, GOMAXPROCS} and requires identical
+// per-round outputs, deltas and accounting — the engine-level
+// same-seed determinism leg for the new adversary.
+func TestP2PChurnDeterminismAcrossWorkerCounts(t *testing.T) {
+	const n = serialThreshold * 2
+	const rounds = 24
+	ref := collectTrace(n, 1, rounds, p2pAdv(n), sizedAlgo{})
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		got := collectTrace(n, w, rounds, p2pAdv(n), sizedAlgo{})
+		diffTraces(t, fmt.Sprintf("p2p/workers=%d", w), ref, got)
+	}
+}

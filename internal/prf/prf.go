@@ -169,6 +169,21 @@ func (s *Stream) Exp(lambda float64) float64 {
 	return -math.Log(1-u) / lambda
 }
 
+// Pareto returns a Pareto(alpha)-distributed value with scale 1 via
+// inverse-transform sampling: X = (1-U)^(-1/alpha), so X ≥ 1 and
+// P[X > x] = x^(-alpha). Heavy-tailed for small alpha (infinite variance
+// below 2, infinite mean below 1) — the standard model for P2P session
+// lengths.
+func (s *Stream) Pareto(alpha float64) float64 {
+	u := s.Float64()
+	// Guard against division by zero at u == 1 (Float64 is in [0,1), but
+	// keep the guard symmetric with Exp's).
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return math.Pow(1-u, -1/alpha)
+}
+
 // Alpha returns the canonical DMis random number for the tuple. Exposed as
 // a named helper so the clairvoyant adversary (experiment E13) provably
 // computes the same value the node will draw; see the remark after

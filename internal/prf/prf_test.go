@@ -204,6 +204,49 @@ func TestExpPositiveAndMeanish(t *testing.T) {
 	}
 }
 
+func TestParetoSupportAndMean(t *testing.T) {
+	s := NewStream(19, 1, 1, PurposeAux)
+	const alpha = 3.0 // mean exists and is alpha/(alpha-1) = 1.5
+	sum := 0.0
+	const samples = 200000
+	for i := 0; i < samples; i++ {
+		v := s.Pareto(alpha)
+		if v < 1 {
+			t.Fatalf("Pareto returned %v < 1 (scale is 1)", v)
+		}
+		sum += v
+	}
+	mean := sum / samples
+	if want := alpha / (alpha - 1); math.Abs(mean-want) > 0.05 {
+		t.Fatalf("Pareto(%v) mean %v, want ~%v", alpha, mean, want)
+	}
+}
+
+func TestParetoHeavyTail(t *testing.T) {
+	// P[X > x] = x^(-alpha): with alpha = 1.1 the tail is fat enough that
+	// 100k draws should comfortably exceed 100 at least once, while the
+	// bulk stays near 1 (median 2^(1/alpha) < 2).
+	s := NewStream(23, 1, 1, PurposeAux)
+	const alpha = 1.1
+	const samples = 100000
+	big, small := 0, 0
+	for i := 0; i < samples; i++ {
+		v := s.Pareto(alpha)
+		if v > 100 {
+			big++
+		}
+		if v < 2 {
+			small++
+		}
+	}
+	if big == 0 {
+		t.Fatal("no draw exceeded 100 — tail not heavy")
+	}
+	if small < samples/3 {
+		t.Fatalf("only %d of %d draws below 2 — bulk misplaced", small, samples)
+	}
+}
+
 func TestAlphaWordMatchesStreamFirstUint(t *testing.T) {
 	// The clairvoyant adversary's winner prediction compares AlphaWord
 	// values; they must equal the first Uint64 of the node's stream.
