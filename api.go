@@ -7,6 +7,7 @@ import (
 	"dynlocal/internal/algos/coloring"
 	"dynlocal/internal/algos/mis"
 	"dynlocal/internal/baseline"
+	"dynlocal/internal/ckpt"
 	"dynlocal/internal/core"
 	"dynlocal/internal/dyngraph"
 	"dynlocal/internal/engine"
@@ -282,6 +283,50 @@ func NewTraceStreamEncoder(w io.Writer, n, rounds int) (*TraceStreamEncoder, err
 // rounds follow via Next/NextDeltas.
 func NewTraceStreamDecoder(r io.Reader) (*TraceStreamDecoder, error) {
 	return dyngraph.NewStreamDecoder(r)
+}
+
+// WriteCheckpoint serializes the full deterministic run state — the
+// engine and, when non-nil, the T-dynamic checker — to w as one composed
+// checkpoint stream (see docs/checkpointing.md). It must be called at a
+// round barrier, i.e. between Step calls, never from inside an OnRound
+// observer. The stream is framed and CRC-protected; a torn or corrupted
+// checkpoint never restores. Callers writing to a file should write a
+// temporary file and rename it into place after a successful return, the
+// pattern `dynsim -checkpoint` uses.
+func WriteCheckpoint(w io.Writer, e *Engine, c *TDynamicChecker) error {
+	cw := ckpt.NewWriter(w)
+	e.CheckpointTo(cw)
+	if c != nil {
+		c.SaveState(cw)
+	}
+	return cw.Close()
+}
+
+// ReadCheckpoint restores a checkpoint written by WriteCheckpoint into a
+// freshly constructed engine (and checker, when one was saved — pass nil
+// to match a nil at write time). The engine, algorithm, adversary and
+// checker must be rebuilt with the same constructors and configuration
+// as the checkpointed run; the header rejects any mismatch. After a
+// successful return the engine continues from the checkpointed round,
+// bit-identical to the uninterrupted run under any worker count.
+func ReadCheckpoint(r io.Reader, e *Engine, c *TDynamicChecker) error {
+	cr := ckpt.NewReader(r)
+	e.RestoreFrom(cr)
+	if c != nil {
+		c.LoadState(cr)
+	}
+	if err := cr.Err(); err != nil {
+		return err
+	}
+	return cr.Close()
+}
+
+// RecoverTrace salvages a torn trace recording — a crash mid-write
+// leaves the file truncated anywhere — by re-encoding the longest
+// decodable round prefix of src to dst with a corrected header. It
+// returns the number of rounds recovered.
+func RecoverTrace(src io.ReadSeeker, dst io.Writer) (int, error) {
+	return dyngraph.RecoverTrace(src, dst)
 }
 
 // StaggeredSchedule wakes perRound nodes per round in id order.

@@ -905,6 +905,55 @@ func BenchmarkTraceReplay(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckpoint measures the cost of the checkpoint/resume plane
+// as the universe grows: snapshotting a mid-run engine+checker pair to a
+// byte stream, and restoring a fresh pair from it. Both scale with live
+// state (nodes, window edges, adversary footprint), not with elapsed
+// rounds; bytes/op sizes the checkpoint itself.
+func BenchmarkCheckpoint(b *testing.B) {
+	const rounds = 32
+	for _, n := range []int{1024, 4096, 16384} {
+		mkAdv := func() adversary.Adversary {
+			base := graph.GNP(n, 8.0/float64(n), prf.NewStream(7, 0, 0, prf.PurposeWorkload))
+			return &adversary.Churn{Base: base, Add: 16, Del: 16, Seed: 3}
+		}
+		cfg := engine.Config{N: n, Seed: 1, Workers: 4}
+		algo := mis.NewMIS(n)
+		e := engine.New(cfg, mkAdv(), algo)
+		chk := verify.NewTDynamic(problems.MIS(), algo.T1, n)
+		e.OnRound(func(info *engine.RoundInfo) { chk.Feed(info.Delta()) })
+		e.Run(rounds)
+		var ck bytes.Buffer
+		if err := WriteCheckpoint(&ck, e, chk); err != nil {
+			b.Fatal(err)
+		}
+
+		b.Run(fmt.Sprintf("snapshot/N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(ck.Len()))
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				buf.Grow(ck.Len())
+				if err := WriteCheckpoint(&buf, e, chk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("restore/N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(ck.Len()))
+			for i := 0; i < b.N; i++ {
+				algo2 := mis.NewMIS(n)
+				e2 := engine.New(cfg, mkAdv(), algo2)
+				chk2 := verify.NewTDynamic(problems.MIS(), algo2.T1, n)
+				if err := ReadCheckpoint(bytes.NewReader(ck.Bytes()), e2, chk2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkStatsFit(b *testing.B) {
 	ns := []int{128, 256, 512, 1024, 2048, 4096}
 	y := []float64{10, 12, 14, 16, 18, 20}

@@ -10,11 +10,29 @@
 //	go run ./cmd/dynsim -problem mis -algo restart -adversary static -n 512
 //	go run ./cmd/dynsim -adversary p2p -n 4096 -rounds 500 -record run.trace
 //	go run ./cmd/dynsim -trace run.trace
+//	go run ./cmd/dynsim -adversary churn -rounds 10000 -checkpoint run.ck -checkpoint-every 500
+//	go run ./cmd/dynsim -adversary churn -rounds 10000 -resume run.ck
+//	go run ./cmd/dynsim -recover torn.trace -record salvaged.trace
 //
 // -record streams every round's wake set and topology diff to a trace
 // file; -trace replays such a file (node count and, by default, round
 // count come from its header) through the streaming decoder, so traces
 // far larger than memory replay in constant memory.
+//
+// Recording is crash-safe: rounds stream to a temporary file that is
+// fsynced and renamed into place only on clean completion, and with
+// -checkpoint-every the stream is additionally fsynced at the same
+// cadence, so a crash leaves a torn temporary that -recover salvages
+// back to the last complete round.
+//
+// -checkpoint writes the full deterministic run state (engine, algorithm
+// nodes, adversary, checker — see docs/checkpointing.md) atomically at
+// the end of the run and, with -checkpoint-every k, every k rounds.
+// -resume restores such a checkpoint and plays the remaining rounds;
+// the run must be reconstructed with the same flags (problem, algo,
+// adversary, n, seed) — the checkpoint header rejects any mismatch —
+// and the resumed rounds are bit-identical to the uninterrupted run,
+// under any worker count.
 package main
 
 import (
@@ -66,12 +84,30 @@ func run(args []string, out io.Writer) (invalidRounds int, strict bool, err erro
 	every := fs.Int("every", 10, "print a row every k rounds")
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
 	tracePath := fs.String("trace", "", "replay a recorded trace file instead of running an adversary (-n and default -rounds come from its header)")
-	recordPath := fs.String("record", "", "record the run's rounds to a trace file")
+	recordPath := fs.String("record", "", "record the run's rounds to a trace file (written atomically: temp file, fsync, rename)")
+	recoverPath := fs.String("recover", "", "salvage a torn trace recording into the -record path and exit")
+	checkpointPath := fs.String("checkpoint", "", "write run state to this file (atomically) at the end of the run, and periodically with -checkpoint-every")
+	checkpointEvery := fs.Int("checkpoint-every", 0, "also checkpoint (and fsync the recording) every k rounds")
+	resumePath := fs.String("resume", "", "restore run state from a checkpoint file and play the remaining rounds (pass the same flags as the checkpointed run)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0, false, err
 		}
 		return 0, false, fmt.Errorf("%w: %v", errFlagParse, err)
+	}
+	if *checkpointEvery > 0 && *checkpointPath == "" {
+		return 0, false, errors.New("-checkpoint-every requires -checkpoint")
+	}
+	if *recoverPath != "" {
+		if *recordPath == "" {
+			return 0, false, errors.New("-recover requires -record as the salvage destination")
+		}
+		n, err := recoverTrace(*recoverPath, *recordPath)
+		if err != nil {
+			return 0, false, err
+		}
+		fmt.Fprintf(out, "recovered %d complete rounds from %s into %s\n", n, *recoverPath, *recordPath)
+		return 0, false, nil
 	}
 
 	// A replayed trace dictates the node universe and, unless -rounds was
@@ -171,17 +207,48 @@ func run(args []string, out io.Writer) (invalidRounds int, strict bool, err erro
 	eng := dynlocal.NewEngine(dynlocal.EngineConfig{N: *n, Seed: *seed}, adv, algorithm)
 	check := dynlocal.NewTDynamicChecker(pc, window, *n)
 
+	// A resumed run restores engine, algorithm nodes, adversary and
+	// checker state before any round plays; the checkpoint header rejects
+	// a reconstruction that does not match the checkpointed run.
+	startRound := 0
+	if *resumePath != "" {
+		f, err := os.Open(*resumePath)
+		if err != nil {
+			return 0, false, err
+		}
+		err = dynlocal.ReadCheckpoint(f, eng, check)
+		f.Close()
+		if err != nil {
+			return 0, false, fmt.Errorf("resuming from %s: %w", *resumePath, err)
+		}
+		startRound = eng.Round()
+		if startRound >= *rounds {
+			return 0, false, fmt.Errorf("checkpoint %s is at round %d, at or past -rounds %d", *resumePath, startRound, *rounds)
+		}
+	}
+
+	// Recording streams to a temporary file renamed into place only on
+	// clean completion; a crash leaves a torn temporary for -recover.
 	var rec *dynlocal.TraceStreamEncoder
+	var recFile *os.File
+	recTmp := *recordPath + ".tmp"
 	if *recordPath != "" {
-		f, err := os.Create(*recordPath)
+		f, err := os.Create(recTmp)
 		if err != nil {
 			return 0, false, err
 		}
-		defer f.Close()
-		rec, err = dynlocal.NewTraceStreamEncoder(f, *n, *rounds)
+		recFile = f
+		defer func() {
+			if recFile != nil {
+				recFile.Close()
+				os.Remove(recTmp)
+			}
+		}()
+		rec, err = dynlocal.NewTraceStreamEncoder(f, *n, *rounds-startRound)
 		if err != nil {
 			return 0, false, err
 		}
+		rec.SyncEvery(*checkpointEvery)
 		eng.OnRound(func(info *dynlocal.RoundInfo) {
 			if err := rec.WriteRound(info.Wake, info.EdgeAdds, info.EdgeRemoves); err != nil {
 				log.Fatalf("recording round %d: %v", info.Round, err)
@@ -207,11 +274,37 @@ func run(args []string, out io.Writer) (invalidRounds int, strict bool, err erro
 		table.AddRow(info.Round, produced, rep.CoreNodes, !rep.Valid(),
 			len(rep.PackingViolations), len(rep.CoverViolations), info.Messages)
 	})
-	eng.Run(*rounds)
+	for eng.Round() < *rounds {
+		eng.Step()
+		// Checkpoints are taken here, at the round barrier between Steps,
+		// never from inside an observer.
+		if *checkpointEvery > 0 && eng.Round() < *rounds &&
+			(eng.Round()-startRound)%*checkpointEvery == 0 {
+			if err := writeCheckpoint(*checkpointPath, eng, check); err != nil {
+				return 0, false, fmt.Errorf("checkpoint at round %d: %w", eng.Round(), err)
+			}
+		}
+	}
+	if *checkpointPath != "" {
+		if err := writeCheckpoint(*checkpointPath, eng, check); err != nil {
+			return 0, false, fmt.Errorf("final checkpoint: %w", err)
+		}
+	}
 	if rec != nil {
-		if err := rec.Close(); err != nil {
+		err := rec.Close()
+		if err == nil {
+			err = recFile.Sync()
+		}
+		if cerr := recFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			return 0, false, fmt.Errorf("recording trace: %w", err)
 		}
+		if err := os.Rename(recTmp, *recordPath); err != nil {
+			return 0, false, err
+		}
+		recFile = nil
 	}
 	if streamed != nil {
 		if err := streamed.Err(); err != nil {
@@ -219,13 +312,67 @@ func run(args []string, out io.Writer) (invalidRounds int, strict bool, err erro
 		}
 	}
 
-	fmt.Fprintf(out, "%s / %s / %s: n=%d, window T=%d, %d rounds\n\n",
+	fmt.Fprintf(out, "%s / %s / %s: n=%d, window T=%d, %d rounds",
 		*problem, *algo, *adversaryKind, *n, window, *rounds)
+	if startRound > 0 {
+		fmt.Fprintf(out, " (resumed at round %d)", startRound)
+	}
+	fmt.Fprint(out, "\n\n")
 	if *csv {
 		table.CSV(out)
 	} else {
 		table.Render(out)
 	}
-	fmt.Fprintf(out, "\ninvalid rounds: %d / %d\n", invalidRounds, *rounds)
+	fmt.Fprintf(out, "\ninvalid rounds: %d / %d\n", invalidRounds, *rounds-startRound)
 	return invalidRounds, *algo == "combined" || *algo == "restart", nil
+}
+
+// writeCheckpoint writes the composed engine+checker state atomically: a
+// same-directory temporary file, fsynced, renamed over path — so a crash
+// mid-checkpoint never clobbers the previous good checkpoint.
+func writeCheckpoint(path string, e *dynlocal.Engine, c *dynlocal.TDynamicChecker) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = dynlocal.WriteCheckpoint(f, e, c)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// recoverTrace salvages the longest complete-round prefix of a torn
+// trace recording into dst, written with the same atomic pattern.
+func recoverTrace(src, dst string) (int, error) {
+	in, err := os.Open(src)
+	if err != nil {
+		return 0, err
+	}
+	defer in.Close()
+	tmp := dst + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	n, err := dynlocal.RecoverTrace(in, f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return n, os.Rename(tmp, dst)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -81,6 +82,103 @@ func TestRunRecordAndReplayTrace(t *testing.T) {
 	}
 	if !strings.Contains(repOut.String(), "invalid rounds: ") {
 		t.Fatalf("missing verdict in replay output:\n%s", repOut.String())
+	}
+}
+
+// TestRunCheckpointResume checkpoints a run mid-way with -checkpoint-every,
+// resumes from the final checkpoint with a fresh process image, and
+// checks the resumed segment completes with the same zero-invalid
+// verdict. The full bit-identity of resumed runs is pinned by
+// internal/faultinject; here we exercise the CLI plumbing.
+func TestRunCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ck := dir + "/run.ck"
+	common := []string{
+		"-problem", "mis", "-algo", "combined", "-adversary", "churn",
+		"-n", "64", "-churn", "2", "-every", "20",
+	}
+	var out strings.Builder
+	invalid, _, err := run(append(common, "-rounds", "40", "-checkpoint", ck, "-checkpoint-every", "15"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invalid != 0 {
+		t.Fatalf("reference run produced %d invalid rounds:\n%s", invalid, out.String())
+	}
+
+	// The final checkpoint is at round 40; extend the run beyond it.
+	var resumed strings.Builder
+	invalid, _, err = run(append(common, "-rounds", "60", "-resume", ck), &resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invalid != 0 {
+		t.Fatalf("resumed run produced %d invalid rounds:\n%s", invalid, resumed.String())
+	}
+	if !strings.Contains(resumed.String(), "(resumed at round 40)") {
+		t.Fatalf("missing resume marker:\n%s", resumed.String())
+	}
+	if !strings.Contains(resumed.String(), "invalid rounds: 0 / 20") {
+		t.Fatalf("resumed verdict should cover the 20-round tail:\n%s", resumed.String())
+	}
+
+	// A mismatched reconstruction must be rejected by the header.
+	if _, _, err := run([]string{
+		"-problem", "mis", "-algo", "combined", "-adversary", "churn",
+		"-n", "128", "-churn", "2", "-rounds", "60", "-resume", ck,
+	}, &strings.Builder{}); err == nil {
+		t.Fatal("resume with a different -n succeeded")
+	}
+	// Resuming at or past -rounds has nothing to play.
+	if _, _, err := run(append(common, "-rounds", "40", "-resume", ck), &strings.Builder{}); err == nil {
+		t.Fatal("resume at -rounds succeeded")
+	}
+}
+
+// TestRunRecoverTornTrace tears a recording mid-round and drives the
+// -recover path: the salvaged trace must replay cleanly with the round
+// count the tear left intact.
+func TestRunRecoverTornTrace(t *testing.T) {
+	dir := t.TempDir()
+	trace := dir + "/run.trace"
+	if _, _, err := run([]string{
+		"-problem", "mis", "-algo", "combined", "-adversary", "churn",
+		"-n", "48", "-rounds", "30", "-churn", "2", "-record", trace,
+	}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := dir + "/torn.trace"
+	if err := os.WriteFile(torn, whole[:len(whole)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	salvaged := dir + "/salvaged.trace"
+	var out strings.Builder
+	if _, _, err := run([]string{"-recover", torn, "-record", salvaged}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "recovered 29 complete rounds") {
+		t.Fatalf("unexpected recovery report:\n%s", out.String())
+	}
+	var rep strings.Builder
+	if _, _, err := run([]string{"-trace", salvaged, "-every", "10"}, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), "invalid rounds: ") {
+		t.Fatalf("salvaged trace did not replay:\n%s", rep.String())
+	}
+	// -recover without a destination is an error.
+	if _, _, err := run([]string{"-recover", torn}, &strings.Builder{}); err == nil {
+		t.Fatal("-recover without -record succeeded")
+	}
+}
+
+func TestRunCheckpointEveryRequiresPath(t *testing.T) {
+	if _, _, err := run([]string{"-checkpoint-every", "5", "-n", "16", "-rounds", "2"}, &strings.Builder{}); err == nil {
+		t.Fatal("-checkpoint-every without -checkpoint succeeded")
 	}
 }
 

@@ -384,9 +384,13 @@ type DeltaStreamSource interface {
 // and exposes the error via Err, which callers replaying untrusted traces
 // must check after the run.
 type ScriptedStream struct {
-	src  DeltaStreamSource
-	done bool
-	err  error
+	src DeltaStreamSource
+	// consumed counts successful pulls from the source — the stream's
+	// replay position, which is all the state a checkpoint needs (see
+	// Checkpointer in checkpoint.go).
+	consumed int
+	done     bool
+	err      error
 }
 
 // NewScriptedStream wraps a streaming delta source as an adversary.
@@ -408,6 +412,7 @@ func (s *ScriptedStream) Step(v View) Step {
 		}
 		return Step{}
 	}
+	s.consumed++
 	return Step{Wake: wake, EdgeAdds: adds, EdgeRemoves: removes}
 }
 

@@ -1,0 +1,289 @@
+package adversary
+
+import (
+	"fmt"
+	"slices"
+
+	"dynlocal/internal/ckpt"
+	"dynlocal/internal/graph"
+)
+
+// Checkpointer is implemented by adversaries whose position in the
+// topology sequence can be serialized into a checkpoint stream and
+// restored onto a freshly constructed adversary with the same
+// configuration, after which the restored adversary emits exactly the
+// steps the original would have. Stateless adversaries (Static,
+// Alternator, Scripted — their Step is a pure function of the round)
+// need no Checkpointer: the engine restores them by round number alone.
+//
+// The randomized adversaries draw from per-round PRF streams
+// (advStream), so their "position" is exactly their mutable state —
+// no RNG cursor needs saving beyond what prf.Stream.Cursor offers to
+// adversaries that hold streams across rounds (none here do).
+type Checkpointer interface {
+	SaveState(w *ckpt.Writer)
+	LoadState(r *ckpt.Reader)
+}
+
+// Section tags guarding the adversary section of a checkpoint stream.
+const (
+	tagChurn          uint64 = 0x71
+	tagEdgeMarkov     uint64 = 0x72
+	tagP2PChurn       uint64 = 0x73
+	tagScriptedStream uint64 = 0x74
+)
+
+// stateCap bounds per-collection element counts a checkpoint may
+// declare for adversary state.
+const stateCap = 1 << 26
+
+// SaveState implements Checkpointer. The live edge-key list is written
+// verbatim: its swap-delete order feeds removeRandom's Intn indexing,
+// so preserving it exactly is what makes the resumed draw sequence
+// bit-identical.
+func (c *Churn) SaveState(w *ckpt.Writer) {
+	w.Section(tagChurn)
+	w.Bool(c.started)
+	if !c.started {
+		return
+	}
+	w.Int(len(c.keys))
+	for _, k := range c.keys {
+		w.Uvarint(uint64(k))
+	}
+}
+
+// LoadState implements Checkpointer.
+func (c *Churn) LoadState(r *ckpt.Reader) {
+	r.Section(tagChurn)
+	if !r.Bool() {
+		return
+	}
+	if !c.started {
+		c.init()
+	}
+	n := r.Count(stateCap)
+	if r.Err() != nil {
+		return
+	}
+	c.keys = make([]graph.EdgeKey, n)
+	c.keyIdx = make(map[graph.EdgeKey]int, n)
+	for i := range c.keys {
+		k := graph.EdgeKey(r.Uvarint())
+		c.keys[i] = k
+		c.keyIdx[k] = i
+	}
+}
+
+// SaveState implements Checkpointer. The footprint key list is
+// reconstructed from the immutable footprint graph; only the on/off
+// mirror is state.
+func (m *EdgeMarkov) SaveState(w *ckpt.Writer) {
+	w.Section(tagEdgeMarkov)
+	w.Bool(m.started)
+	if !m.started {
+		return
+	}
+	w.Int(len(m.on))
+	for _, b := range m.on {
+		w.Bool(b)
+	}
+}
+
+// LoadState implements Checkpointer.
+func (m *EdgeMarkov) LoadState(r *ckpt.Reader) {
+	r.Section(tagEdgeMarkov)
+	if !r.Bool() {
+		return
+	}
+	if !m.started {
+		m.init()
+	}
+	n := r.Count(stateCap)
+	if r.Err() != nil {
+		return
+	}
+	if n != len(m.on) {
+		r.Fail(fmt.Errorf("adversary: checkpoint has %d footprint edges, adversary has %d", n, len(m.on)))
+		return
+	}
+	for i := range m.on {
+		m.on[i] = r.Bool()
+	}
+}
+
+// SaveState implements Checkpointer. Order-bearing slices (live list,
+// per-node adjacency) are written verbatim — the live list's
+// swap-delete order feeds Intn peer selection — while the round-keyed
+// maps are written with sorted keys for deterministic bytes.
+func (p *P2PChurn) SaveState(w *ckpt.Writer) {
+	w.Section(tagP2PChurn)
+	w.Bool(p.started)
+	if !p.started {
+		return
+	}
+	w.Varint(int64(p.nextID))
+	w.Int(len(p.live))
+	for _, v := range p.live {
+		w.Varint(int64(v))
+	}
+	// Adjacency in live order: every nbrs key is a live node.
+	for _, v := range p.live {
+		row := p.nbrs[v]
+		w.Int(len(row))
+		for _, u := range row {
+			w.Varint(int64(u))
+		}
+	}
+	saveRoundBuckets(w, p.sessEnd)
+	saveRoundCounts(w, p.rejoins)
+}
+
+// LoadState implements Checkpointer.
+func (p *P2PChurn) LoadState(r *ckpt.Reader) {
+	r.Section(tagP2PChurn)
+	if !r.Bool() {
+		return
+	}
+	if !p.started {
+		p.init()
+	}
+	p.nextID = graph.NodeID(r.Varint())
+	n := r.Count(stateCap)
+	if r.Err() != nil {
+		return
+	}
+	p.live = make([]graph.NodeID, n)
+	p.liveIdx = make(map[graph.NodeID]int, n)
+	for i := range p.live {
+		v := graph.NodeID(r.Varint())
+		p.live[i] = v
+		p.liveIdx[v] = i
+	}
+	p.nbrs = make(map[graph.NodeID][]graph.NodeID, n)
+	for _, v := range p.live {
+		deg := r.Count(stateCap)
+		if r.Err() != nil {
+			return
+		}
+		row := make([]graph.NodeID, deg)
+		for i := range row {
+			row[i] = graph.NodeID(r.Varint())
+		}
+		p.nbrs[v] = row
+	}
+	p.sessEnd = loadRoundBuckets(r)
+	p.rejoins = loadRoundCounts(r)
+}
+
+// saveRoundBuckets serializes a round-keyed id-bucket map with sorted
+// round keys (bucket contents verbatim — their order is append order
+// and feeds departure processing).
+func saveRoundBuckets(w *ckpt.Writer, m map[int][]graph.NodeID) {
+	rounds := make([]int, 0, len(m))
+	for r := range m {
+		rounds = append(rounds, r)
+	}
+	slices.Sort(rounds)
+	w.Int(len(rounds))
+	for _, rd := range rounds {
+		w.Int(rd)
+		ids := m[rd]
+		w.Int(len(ids))
+		for _, v := range ids {
+			w.Varint(int64(v))
+		}
+	}
+}
+
+func loadRoundBuckets(r *ckpt.Reader) map[int][]graph.NodeID {
+	n := r.Count(stateCap)
+	if r.Err() != nil {
+		return nil
+	}
+	m := make(map[int][]graph.NodeID, n)
+	for i := 0; i < n; i++ {
+		rd := r.Int()
+		cnt := r.Count(stateCap)
+		if r.Err() != nil {
+			return nil
+		}
+		ids := make([]graph.NodeID, cnt)
+		for j := range ids {
+			ids[j] = graph.NodeID(r.Varint())
+		}
+		m[rd] = ids
+	}
+	return m
+}
+
+// saveRoundCounts serializes a round-keyed counter map with sorted
+// round keys.
+func saveRoundCounts(w *ckpt.Writer, m map[int]int) {
+	rounds := make([]int, 0, len(m))
+	for r := range m {
+		rounds = append(rounds, r)
+	}
+	slices.Sort(rounds)
+	w.Int(len(rounds))
+	for _, rd := range rounds {
+		w.Int(rd)
+		w.Int(m[rd])
+	}
+}
+
+func loadRoundCounts(r *ckpt.Reader) map[int]int {
+	n := r.Count(stateCap)
+	if r.Err() != nil {
+		return nil
+	}
+	m := make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		rd := r.Int()
+		m[rd] = r.Int()
+	}
+	return m
+}
+
+// SaveState implements Checkpointer. Only the consumed-round count is
+// state; LoadState fast-forwards a freshly opened source by that many
+// rounds, re-validating the prefix and rebuilding the decoder's
+// present-set as a side effect. A stream that has already surfaced a
+// decode error refuses to checkpoint — resuming a failed replay would
+// silently freeze the topology.
+func (s *ScriptedStream) SaveState(w *ckpt.Writer) {
+	w.Section(tagScriptedStream)
+	if s.err != nil {
+		w.Fail(fmt.Errorf("adversary: cannot checkpoint errored trace replay: %w", s.err))
+		return
+	}
+	w.Int(s.consumed)
+	w.Bool(s.done)
+}
+
+// LoadState implements Checkpointer. The receiver must wrap a freshly
+// opened source positioned at its first round.
+func (s *ScriptedStream) LoadState(r *ckpt.Reader) {
+	r.Section(tagScriptedStream)
+	consumed := r.Count(stateCap)
+	done := r.Bool()
+	if r.Err() != nil {
+		return
+	}
+	for i := 0; i < consumed; i++ {
+		if _, _, _, err := s.src.NextDeltas(); err != nil {
+			r.Fail(fmt.Errorf("adversary: trace ended at round %d/%d while resuming: %w", i, consumed, err))
+			return
+		}
+	}
+	s.consumed = consumed
+	s.done = done
+}
+
+// Interface conformance.
+var (
+	_ Checkpointer = (*Churn)(nil)
+	_ Checkpointer = (*EdgeMarkov)(nil)
+	_ Checkpointer = (*P2PChurn)(nil)
+	_ Checkpointer = (*ScriptedStream)(nil)
+)

@@ -1,0 +1,127 @@
+package coloring
+
+import (
+	"fmt"
+	"sort"
+
+	"dynlocal/internal/ckpt"
+	"dynlocal/internal/graph"
+	"dynlocal/internal/problems"
+)
+
+// Checkpoint support: the coloring node types serialize their full
+// mutable state so a restored run continues bit-identically. LoadState
+// runs on a freshly NewNode-ed instance (factory pointer and node id
+// already set; Start has not been called).
+
+const (
+	tagDColor uint64 = 0x63
+	tagSColor uint64 = 0x64
+)
+
+// streakCap bounds the streak-table size a checkpoint may declare.
+const streakCap = 1 << 24
+
+// paletteWordCap bounds the palette bitset length (words of 64 colors);
+// palettes never exceed degree+1 colors.
+const paletteWordCap = 1 << 20
+
+func savePalette(w *ckpt.Writer, p *palette) {
+	w.Int(p.size)
+	w.Int(len(p.words))
+	for _, word := range p.words {
+		w.Uvarint(word)
+	}
+}
+
+func loadPalette(r *ckpt.Reader) palette {
+	size := r.Int()
+	n := r.Count(paletteWordCap)
+	if r.Err() != nil {
+		return palette{}
+	}
+	words := make([]uint64, n)
+	for i := range words {
+		words[i] = r.Uvarint()
+	}
+	return palette{words: words, size: size}
+}
+
+// SaveState implements ckpt.Stater. The streak map is written as
+// key-sorted pairs so identical runs produce bit-identical checkpoint
+// artifacts; map iteration order never influences the restored state
+// (lookups only).
+func (d *dcolorNode) SaveState(w *ckpt.Writer) {
+	w.Section(tagDColor)
+	w.Varint(int64(d.out))
+	w.Bool(d.started)
+	w.Varint(int64(d.age))
+	w.Varint(d.tentative)
+	savePalette(w, &d.pal)
+	w.Bool(d.streak != nil)
+	if d.streak != nil {
+		keys := make([]graph.NodeID, 0, len(d.streak))
+		for k := range d.streak {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		w.Int(len(keys))
+		for _, k := range keys {
+			w.Varint(int64(k))
+			w.Varint(int64(d.streak[k]))
+		}
+	}
+}
+
+// LoadState implements ckpt.Stater.
+func (d *dcolorNode) LoadState(r *ckpt.Reader) {
+	r.Section(tagDColor)
+	d.out = problemsValue(r)
+	d.started = r.Bool()
+	d.age = int32(r.Varint())
+	d.tentative = r.Varint()
+	d.pal = loadPalette(r)
+	if r.Bool() {
+		n := r.Count(streakCap)
+		// Non-nil even when empty: Process branches on d.started, but the
+		// map must exist once the start round has run.
+		d.streak = make(map[graph.NodeID]int32, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			k := graph.NodeID(r.Varint())
+			d.streak[k] = int32(r.Varint())
+		}
+	} else {
+		d.streak = nil
+	}
+}
+
+// SaveState implements ckpt.Stater.
+func (s *scolorNode) SaveState(w *ckpt.Writer) {
+	w.Section(tagSColor)
+	w.Varint(int64(s.out))
+	w.Varint(s.tentative)
+	savePalette(w, &s.pal)
+}
+
+// LoadState implements ckpt.Stater.
+func (s *scolorNode) LoadState(r *ckpt.Reader) {
+	r.Section(tagSColor)
+	s.out = problemsValue(r)
+	s.tentative = r.Varint()
+	s.pal = loadPalette(r)
+}
+
+var (
+	_ ckpt.Stater = (*dcolorNode)(nil)
+	_ ckpt.Stater = (*scolorNode)(nil)
+)
+
+// problemsValue reads a coloring output: Bot or a positive color.
+func problemsValue(r *ckpt.Reader) problems.Value {
+	raw := problems.Value(r.Varint())
+	if raw < 0 {
+		r.Fail(fmt.Errorf("coloring: invalid checkpointed value %d", raw))
+		return problems.Bot
+	}
+	return raw
+}

@@ -1,0 +1,100 @@
+package mis
+
+import (
+	"fmt"
+
+	"dynlocal/internal/ckpt"
+	"dynlocal/internal/graph"
+	"dynlocal/internal/problems"
+)
+
+// Checkpoint support: the MIS node types serialize their full mutable
+// state so a restored run continues bit-identically. LoadState runs on
+// a freshly NewNode-ed instance (configuration fields like mask and the
+// factory pointer are already set; Start has not been called).
+
+const (
+	tagDMis uint64 = 0x61
+	tagSMis uint64 = 0x62
+)
+
+// streakCap bounds the streak-table size a checkpoint may declare: a
+// node can know at most every other node.
+const streakCap = 1 << 24
+
+// SaveState implements ckpt.Stater. The streak table is written
+// verbatim (parallel key/value slices in insertion order): order does
+// not change behavior, but keeping it byte-stable makes checkpoint
+// artifacts of identical runs comparable bit-for-bit.
+func (d *dmisNode) SaveState(w *ckpt.Writer) {
+	w.Section(tagDMis)
+	w.Varint(int64(d.out))
+	w.Bool(d.provD)
+	w.Int(d.age)
+	w.Uvarint(d.alpha)
+	w.Bool(d.streakK != nil)
+	if d.streakK != nil {
+		w.Int(len(d.streakK))
+		for i, k := range d.streakK {
+			w.Varint(int64(k))
+			w.Varint(int64(d.streakV[i]))
+		}
+	}
+}
+
+// LoadState implements ckpt.Stater.
+func (d *dmisNode) LoadState(r *ckpt.Reader) {
+	r.Section(tagDMis)
+	d.out = readValue(r)
+	d.provD = r.Bool()
+	d.age = r.Int()
+	d.alpha = r.Uvarint()
+	if r.Bool() {
+		n := r.Count(streakCap)
+		// The nil-ness of streakK is load-bearing (it marks the first
+		// executed round), so restore a non-nil slice even when empty.
+		d.streakK = make([]graph.NodeID, 0, n)
+		d.streakV = make([]int32, 0, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			d.streakK = append(d.streakK, graph.NodeID(r.Varint()))
+			d.streakV = append(d.streakV, int32(r.Varint()))
+		}
+	} else {
+		d.streakK, d.streakV = nil, nil
+	}
+}
+
+// SaveState implements ckpt.Stater.
+func (s *smisNode) SaveState(w *ckpt.Writer) {
+	w.Section(tagSMis)
+	w.Varint(int64(s.out))
+	w.Float64(s.p)
+	w.Bool(s.candidate)
+}
+
+// LoadState implements ckpt.Stater.
+func (s *smisNode) LoadState(r *ckpt.Reader) {
+	r.Section(tagSMis)
+	s.out = readValue(r)
+	s.p = r.Float64()
+	s.candidate = r.Bool()
+}
+
+var (
+	_ ckpt.Stater = (*dmisNode)(nil)
+	_ ckpt.Stater = (*smisNode)(nil)
+)
+
+// readValue reads a problems.Value with a sanity bound: MIS values are
+// Bot, InMIS or Dominated, anything else marks a corrupt stream that
+// slipped past the section tags.
+func readValue(r *ckpt.Reader) problems.Value {
+	raw := problems.Value(r.Varint())
+	switch raw {
+	case problems.Bot, problems.InMIS, problems.Dominated:
+		return raw
+	default:
+		r.Fail(fmt.Errorf("mis: invalid checkpointed value %d", raw))
+		return problems.Bot
+	}
+}

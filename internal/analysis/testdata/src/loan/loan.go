@@ -105,3 +105,35 @@ func drainsIteratorCleanly(k *Keeper, d *Decoder) {
 
 // Clone returns an owned copy of xs.
 func Clone(xs []int) []int { return append([]int(nil), xs...) }
+
+// Saver mimics a checkpoint writer: SaveState-style methods serialize
+// state handed to them, sometimes deferring the actual flush.
+type Saver struct {
+	pending []int
+	held    *Round
+}
+
+// saveEager serializes the loaned round within the call — the
+// sanctioned checkpoint-writer shape: snapshots are encoded at the
+// round barrier, before the pool recycles the buffers.
+func (s *Saver) saveEager(r *Round) int {
+	sum := 0
+	for _, o := range r.Outputs {
+		sum += o
+	}
+	return sum
+}
+
+// saveDeferred stages pooled storage for a later flush: by flush time
+// the pool has recycled the round and the checkpoint serializes some
+// other round's bytes.
+func (s *Saver) saveDeferred(r *Round) {
+	s.pending = r.Outputs // want "stored in field"
+	s.held = r            // want "stored in field"
+}
+
+// saveCopied is the fix: a writer that must stage bytes for a later
+// flush owns a copy.
+func (s *Saver) saveCopied(r *Round) {
+	s.pending = append([]int(nil), r.Outputs...)
+}

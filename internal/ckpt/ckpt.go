@@ -1,0 +1,325 @@
+// Package ckpt provides the low-level wire primitives for checkpoint
+// streams: a sticky-error varint Writer/Reader pair with section tags
+// and a trailing CRC-32 so torn or corrupted checkpoints are detected
+// on restore instead of silently resuming from garbage.
+//
+// A checkpoint stream is a flat sequence of varints (plus raw byte
+// runs for strings) produced by one Writer and consumed by one Reader;
+// both ends must agree on the exact field sequence, which is enforced
+// loosely by interleaved section tags and strictly by the checksum.
+// All encoding is deterministic: the same state always serializes to
+// the same bytes, so checkpoint artifacts can be compared bit-for-bit.
+//
+// Both types latch the first error and turn every subsequent call into
+// a no-op, so callers serialize whole structures without per-field
+// error checks and inspect Err (or Close) once at the end.
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// ErrChecksum is returned by Reader.Close when the stream's trailing
+// CRC-32 does not match the bytes read, i.e. the checkpoint is torn or
+// corrupted.
+var ErrChecksum = errors.New("ckpt: checksum mismatch")
+
+// Stater is implemented by components whose mutable state round-trips
+// through a checkpoint stream. SaveState appends the state as a fixed
+// field sequence; LoadState consumes the same sequence into an
+// already-constructed value (same configuration, fresh mutable state).
+// Errors — wire-level or semantic (via Reader.Fail) — travel on the
+// stream's sticky error, checked once by the caller.
+type Stater interface {
+	SaveState(w *Writer)
+	LoadState(r *Reader)
+}
+
+// maxBytes caps declared byte-run lengths (strings); checkpoint
+// sections carry short identifiers only, so anything larger is
+// corruption, not data.
+const maxBytes = 1 << 20
+
+// Writer serializes varint fields into an io.Writer while folding
+// every byte into a running CRC-32. The first write error sticks and
+// suppresses all further output.
+type Writer struct {
+	w   io.Writer
+	crc uint32
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+// NewWriter returns a checkpoint writer over w. The caller owns w and
+// is responsible for any buffering, syncing and closing; Close here
+// only appends the checksum trailer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	w.crc = crc32.Update(w.crc, crc32.IEEETable, p)
+	if _, err := w.w.Write(p); err != nil {
+		w.err = err
+	}
+}
+
+// Uvarint appends one unsigned varint field.
+func (w *Writer) Uvarint(v uint64) {
+	n := binary.PutUvarint(w.buf[:], v)
+	w.write(w.buf[:n])
+}
+
+// Varint appends one signed (zig-zag) varint field.
+func (w *Writer) Varint(v int64) {
+	n := binary.PutVarint(w.buf[:], v)
+	w.write(w.buf[:n])
+}
+
+// Int appends an int as a signed varint.
+func (w *Writer) Int(v int) { w.Varint(int64(v)) }
+
+// Bool appends a bool as a 0/1 varint.
+func (w *Writer) Bool(b bool) {
+	if b {
+		w.Uvarint(1)
+	} else {
+		w.Uvarint(0)
+	}
+}
+
+// Float64 appends a float64 by its IEEE-754 bit pattern, so the exact
+// value (including -0 and NaN payloads) round-trips.
+func (w *Writer) Float64(f float64) { w.Uvarint(math.Float64bits(f)) }
+
+// String appends a length-prefixed byte string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	if w.err == nil && len(s) > 0 {
+		w.write([]byte(s))
+	}
+}
+
+// Section appends a section tag. Tags carry no data; the matching
+// Reader.Section call fails fast when writer and reader disagree about
+// the field sequence, turning subtle misalignment into a crisp error.
+func (w *Writer) Section(tag uint64) { w.Uvarint(tag) }
+
+// Err returns the first error encountered, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Fail latches err as the stream error if none is set yet, mirroring
+// Reader.Fail for semantic failures discovered while serializing (e.g.
+// a component that does not support checkpointing).
+func (w *Writer) Fail(err error) {
+	if w.err == nil && err != nil {
+		w.err = err
+	}
+}
+
+// Close appends the CRC-32 trailer (4 bytes little-endian, not
+// included in its own checksum) and returns the first error from the
+// whole stream. It does not close the underlying writer.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	var tr [4]byte
+	binary.LittleEndian.PutUint32(tr[:], w.crc)
+	if _, err := w.w.Write(tr[:]); err != nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Reader decodes a stream produced by Writer, folding every consumed
+// byte into a CRC-32 that Close verifies against the trailer. The
+// first error sticks: all subsequent reads return zero values, so
+// callers deserialize whole structures and check Err (or Close) once.
+//
+// The Reader consumes the underlying io.Reader exactly byte by byte
+// unless it implements io.ByteReader (bytes.Reader, bufio.Reader, …),
+// so wrapping a file in a bufio.Reader is recommended — but note a
+// buffered wrapper may read past the checksum trailer.
+type Reader struct {
+	r   io.Reader
+	br  io.ByteReader
+	crc uint32
+	one [1]byte
+	err error
+}
+
+// NewReader returns a checkpoint reader over r.
+func NewReader(r io.Reader) *Reader {
+	cr := &Reader{r: r}
+	cr.br, _ = r.(io.ByteReader)
+	return cr
+}
+
+func (r *Reader) readByte() (byte, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	var b byte
+	var err error
+	if r.br != nil {
+		b, err = r.br.ReadByte()
+	} else {
+		_, err = io.ReadFull(r.r, r.one[:])
+		b = r.one[0]
+	}
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		r.err = err
+		return 0, err
+	}
+	r.one[0] = b
+	r.crc = crc32.Update(r.crc, crc32.IEEETable, r.one[:1])
+	return b, nil
+}
+
+// Uvarint reads one unsigned varint field.
+func (r *Reader) Uvarint() uint64 {
+	var v uint64
+	var shift uint
+	for {
+		b, err := r.readByte()
+		if err != nil {
+			return 0
+		}
+		if shift == 63 && b > 1 {
+			r.err = errors.New("ckpt: varint overflows uint64")
+			return 0
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v
+		}
+		shift += 7
+		if shift > 63 {
+			r.err = errors.New("ckpt: varint too long")
+			return 0
+		}
+	}
+}
+
+// Varint reads one signed (zig-zag) varint field.
+func (r *Reader) Varint() int64 {
+	u := r.Uvarint()
+	v := int64(u >> 1)
+	if u&1 != 0 {
+		v = ^v
+	}
+	return v
+}
+
+// Int reads an int field written by Writer.Int.
+func (r *Reader) Int() int { return int(r.Varint()) }
+
+// Bool reads a bool field; any value other than 0 or 1 is an error.
+func (r *Reader) Bool() bool {
+	switch r.Uvarint() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		if r.err == nil {
+			r.err = errors.New("ckpt: invalid bool")
+		}
+		return false
+	}
+}
+
+// Float64 reads a float64 field by bit pattern.
+func (r *Reader) Float64() float64 { return math.Float64frombits(r.Uvarint()) }
+
+// String reads a length-prefixed byte string.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > maxBytes {
+		r.err = fmt.Errorf("ckpt: string length %d exceeds limit", n)
+		return ""
+	}
+	buf := make([]byte, n)
+	for i := range buf {
+		b, err := r.readByte()
+		if err != nil {
+			return ""
+		}
+		buf[i] = b
+	}
+	return string(buf)
+}
+
+// Count reads an element count written with Int and validates it is
+// non-negative and within limit, bounding allocations driven by corrupt
+// streams.
+func (r *Reader) Count(limit int) int {
+	n := r.Varint()
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || limit < 0 || n > int64(limit) {
+		r.err = fmt.Errorf("ckpt: count %d exceeds limit %d", n, limit)
+		return 0
+	}
+	return int(n)
+}
+
+// Section consumes a section tag and fails the stream if it is not
+// the expected one.
+func (r *Reader) Section(tag uint64) {
+	got := r.Uvarint()
+	if r.err == nil && got != tag {
+		r.err = fmt.Errorf("ckpt: section tag %d, want %d", got, tag)
+	}
+}
+
+// Err returns the first error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Fail latches err as the stream error if none is set yet. Callers use
+// it to report semantic validation failures (bad field values) through
+// the same sticky-error channel as wire-level failures.
+func (r *Reader) Fail(err error) {
+	if r.err == nil && err != nil {
+		r.err = err
+	}
+}
+
+// Close reads the 4-byte CRC-32 trailer and verifies it against the
+// bytes consumed, returning ErrChecksum on mismatch or the stream's
+// first error if one occurred earlier. It does not close the
+// underlying reader.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	sum := r.crc // trailer is not part of its own checksum
+	var tr [4]byte
+	for i := range tr {
+		b, err := r.readByte()
+		if err != nil {
+			return r.err
+		}
+		tr[i] = b
+	}
+	if binary.LittleEndian.Uint32(tr[:]) != sum {
+		r.err = ErrChecksum
+	}
+	return r.err
+}

@@ -1,0 +1,277 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestRoundTrip drives every primitive through a write/read cycle and
+// verifies the checksum trailer closes the stream cleanly.
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Section(7)
+	w.Uvarint(0)
+	w.Uvarint(math.MaxUint64)
+	w.Varint(-1)
+	w.Varint(math.MaxInt64)
+	w.Varint(math.MinInt64)
+	w.Int(-42)
+	w.Bool(true)
+	w.Bool(false)
+	w.Float64(3.25)
+	w.Float64(math.Inf(-1))
+	w.Float64(math.Copysign(0, -1))
+	w.String("")
+	w.String("dynlocal")
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	r.Section(7)
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("Uvarint = %d, want 0", got)
+	}
+	if got := r.Uvarint(); got != math.MaxUint64 {
+		t.Errorf("Uvarint = %d, want MaxUint64", got)
+	}
+	if got := r.Varint(); got != -1 {
+		t.Errorf("Varint = %d, want -1", got)
+	}
+	if got := r.Varint(); got != math.MaxInt64 {
+		t.Errorf("Varint = %d, want MaxInt64", got)
+	}
+	if got := r.Varint(); got != math.MinInt64 {
+		t.Errorf("Varint = %d, want MinInt64", got)
+	}
+	if got := r.Int(); got != -42 {
+		t.Errorf("Int = %d, want -42", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round-trip failed")
+	}
+	if got := r.Float64(); got != 3.25 {
+		t.Errorf("Float64 = %v, want 3.25", got)
+	}
+	if got := r.Float64(); !math.IsInf(got, -1) {
+		t.Errorf("Float64 = %v, want -Inf", got)
+	}
+	if got := r.Float64(); got != 0 || !math.Signbit(got) {
+		t.Errorf("Float64 = %v, want -0", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("String = %q, want empty", got)
+	}
+	if got := r.String(); got != "dynlocal" {
+		t.Errorf("String = %q, want dynlocal", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("reader Close: %v", err)
+	}
+}
+
+// TestDeterministicEncoding pins that identical field sequences
+// produce identical bytes — the property checkpoint comparison tests
+// build on.
+func TestDeterministicEncoding(t *testing.T) {
+	emit := func() []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.Section(1)
+		w.Int(12345)
+		w.String("state")
+		w.Float64(0.5)
+		if err := w.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(emit(), emit()) {
+		t.Fatal("identical field sequences produced different bytes")
+	}
+}
+
+// TestChecksumDetectsCorruption flips each byte of a valid stream in
+// turn and demands the reader reports an error (checksum or earlier
+// wire-level failure) for every corruption.
+func TestChecksumDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Section(3)
+	w.Uvarint(300)
+	w.String("abc")
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	good := buf.Bytes()
+
+	for i := range good {
+		bad := bytes.Clone(good)
+		bad[i] ^= 0x40
+		r := NewReader(bytes.NewReader(bad))
+		r.Section(3)
+		r.Uvarint()
+		_ = r.String()
+		if err := r.Close(); err == nil {
+			t.Errorf("corruption at byte %d not detected", i)
+		}
+	}
+}
+
+// TestTruncationDetected cuts the stream at every prefix length and
+// demands an error — a torn checkpoint must never restore cleanly.
+func TestTruncationDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Uvarint(1 << 40)
+	w.String("payload")
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	good := buf.Bytes()
+
+	for cut := 0; cut < len(good); cut++ {
+		r := NewReader(bytes.NewReader(good[:cut]))
+		r.Uvarint()
+		_ = r.String()
+		if err := r.Close(); err == nil {
+			t.Errorf("truncation at %d/%d not detected", cut, len(good))
+		}
+	}
+}
+
+// TestStickyWriteError verifies the first write failure latches and
+// suppresses all further output.
+func TestStickyWriteError(t *testing.T) {
+	fw := &failAfter{limit: 3}
+	w := NewWriter(fw)
+	for i := 0; i < 100; i++ {
+		w.Uvarint(uint64(i) << 40)
+	}
+	if w.Err() == nil {
+		t.Fatal("expected sticky error")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close must surface the sticky error")
+	}
+	if fw.writes > fw.limit+1 {
+		t.Errorf("writer kept writing after error: %d writes", fw.writes)
+	}
+}
+
+// failAfter accepts limit writes then fails every subsequent one.
+type failAfter struct {
+	limit  int
+	writes int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	f.writes++
+	if f.writes > f.limit {
+		return 0, errors.New("injected write failure")
+	}
+	return len(p), nil
+}
+
+// TestSectionMismatch checks that a wrong section tag fails fast.
+func TestSectionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Section(1)
+	w.Close()
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	r.Section(2)
+	if r.Err() == nil {
+		t.Fatal("section mismatch not detected")
+	}
+}
+
+// TestCountLimit checks hostile counts are rejected before allocation.
+func TestCountLimit(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Int(1 << 30)
+	w.Int(-5)
+	w.Int(77)
+	w.Close()
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if r.Count(1024); r.Err() == nil {
+		t.Fatal("oversized count not rejected")
+	}
+	r = NewReader(bytes.NewReader(buf.Bytes()))
+	_ = r.Int()
+	if r.Count(1024); r.Err() == nil {
+		t.Fatal("negative count not rejected")
+	}
+	r = NewReader(bytes.NewReader(buf.Bytes()))
+	_, _ = r.Int(), r.Int()
+	if got := r.Count(1024); got != 77 || r.Err() != nil {
+		t.Fatalf("valid count: got %d err %v", got, r.Err())
+	}
+}
+
+// TestInvalidBool checks non-0/1 bool encodings are rejected.
+func TestInvalidBool(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Uvarint(2)
+	w.Close()
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if r.Bool(); r.Err() == nil {
+		t.Fatal("invalid bool not rejected")
+	}
+}
+
+// TestVarintOverflow checks that over-long varints are rejected rather
+// than silently wrapped.
+func TestVarintOverflow(t *testing.T) {
+	// Eleven continuation bytes: more than any uint64 needs.
+	raw := bytes.Repeat([]byte{0xff}, 11)
+	r := NewReader(bytes.NewReader(raw))
+	if r.Uvarint(); r.Err() == nil {
+		t.Fatal("overlong varint not rejected")
+	}
+}
+
+// TestFail latches semantic errors on the stream.
+func TestFail(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	r.Fail(errors.New("config mismatch"))
+	if r.Err() == nil || !strings.Contains(r.Err().Error(), "config mismatch") {
+		t.Fatalf("Fail not latched: %v", r.Err())
+	}
+	// First error wins.
+	r.Fail(errors.New("second"))
+	if !strings.Contains(r.Err().Error(), "config mismatch") {
+		t.Fatal("Fail overwrote earlier error")
+	}
+}
+
+// TestPlainReader exercises the non-ByteReader path.
+func TestPlainReader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Uvarint(999)
+	w.String("x")
+	w.Close()
+	r := NewReader(onlyReader{bytes.NewReader(buf.Bytes())})
+	if got := r.Uvarint(); got != 999 {
+		t.Fatalf("Uvarint = %d, want 999", got)
+	}
+	if got := r.String(); got != "x" {
+		t.Fatalf("String = %q, want x", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// onlyReader hides every interface except io.Reader.
+type onlyReader struct{ r io.Reader }
+
+func (o onlyReader) Read(p []byte) (int, error) { return o.r.Read(p) }

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"dynlocal/internal/ckpt"
+)
+
+// Checkpoint support for the framework node processors. A processor
+// serializes recursively: the combiner wrappers write their pipeline
+// shape (channel ids and ages) and delegate each instance's fields to
+// the instance itself, which must implement ckpt.Stater. LoadState runs
+// on a freshly NewNode-ed processor whose Start has NOT been called —
+// every field normally initialized by Start or by the first processed
+// round is restored from the stream instead.
+
+// Section tags guarding the framework layers of a checkpoint stream.
+const (
+	tagSingle uint64 = 0x51
+	tagConcat uint64 = 0x52
+	tagChain  uint64 = 0x53
+)
+
+// saveInstance serializes one NodeInstance, failing the stream if the
+// instance does not support checkpointing.
+func saveInstance(w *ckpt.Writer, inst NodeInstance) {
+	st, ok := inst.(ckpt.Stater)
+	if !ok {
+		w.Fail(fmt.Errorf("core: %T does not support checkpointing", inst))
+		return
+	}
+	st.SaveState(w)
+}
+
+// loadInstance restores one NodeInstance in place.
+func loadInstance(r *ckpt.Reader, inst NodeInstance) {
+	st, ok := inst.(ckpt.Stater)
+	if !ok {
+		r.Fail(fmt.Errorf("core: %T does not support checkpointing", inst))
+		return
+	}
+	st.LoadState(r)
+}
+
+// SaveState implements ckpt.Stater by delegating to the wrapped
+// instance.
+func (p singleProc) SaveState(w *ckpt.Writer) {
+	w.Section(tagSingle)
+	saveInstance(w, p.inst)
+}
+
+// LoadState implements ckpt.Stater.
+func (p singleProc) LoadState(r *ckpt.Reader) {
+	r.Section(tagSingle)
+	loadInstance(r, p.inst)
+}
+
+// saveSlots serializes one instance pipeline: slot count, then each
+// slot's channel, age and instance state in ring order (front = oldest).
+func saveSlots(w *ckpt.Writer, slots []dSlot) {
+	w.Int(len(slots))
+	for i := range slots {
+		s := &slots[i]
+		w.Varint(int64(s.ch))
+		w.Int(s.age)
+		saveInstance(w, s.inst)
+	}
+}
+
+// loadSlots restores an instance pipeline, building each instance with
+// newInst (NewNode without Start — all instance state comes from the
+// stream).
+func loadSlots(r *ckpt.Reader, maxSlots int, newInst func() NodeInstance) []dSlot {
+	n := r.Count(maxSlots)
+	if r.Err() != nil {
+		return nil
+	}
+	slots := make([]dSlot, 0, n)
+	for i := 0; i < n; i++ {
+		s := dSlot{ch: int32(r.Varint()), age: r.Int(), inst: newInst()}
+		loadInstance(r, s.inst)
+		if r.Err() != nil {
+			return nil
+		}
+		slots = append(slots, s)
+	}
+	return slots
+}
+
+// SaveState implements ckpt.Stater for the Concat processor.
+func (p *concatProc) SaveState(w *ckpt.Writer) {
+	w.Section(tagConcat)
+	saveInstance(w, p.salg)
+	saveSlots(w, p.dal)
+}
+
+// LoadState implements ckpt.Stater: it rebuilds the static-algorithm
+// instance and the dynamic pipeline via their factories, then restores
+// each instance's state. ictx and bucks are per-round scratch and need
+// no restoring.
+func (p *concatProc) LoadState(r *ckpt.Reader) {
+	r.Section(tagConcat)
+	p.salg = p.c.S.NewNode(p.v)
+	loadInstance(r, p.salg)
+	p.dal = loadSlots(r, p.c.T1, func() NodeInstance { return p.c.D.NewNode(p.v) })
+}
+
+// SaveState implements ckpt.Stater for the Chain processor.
+func (p *chainProc) SaveState(w *ckpt.Writer) {
+	w.Section(tagChain)
+	saveInstance(w, p.salg)
+	saveSlots(w, p.mids)
+	saveSlots(w, p.outs)
+}
+
+// LoadState implements ckpt.Stater.
+func (p *chainProc) LoadState(r *ckpt.Reader) {
+	r.Section(tagChain)
+	p.salg = p.c.S.NewNode(p.v)
+	loadInstance(r, p.salg)
+	p.mids = loadSlots(r, p.c.Tm, func() NodeInstance { return p.c.Mid.NewNode(p.v) })
+	p.outs = loadSlots(r, p.c.T1, func() NodeInstance { return p.c.D.NewNode(p.v) })
+}
+
+// Interface conformance: the engine checkpoints node processors through
+// ckpt.Stater.
+var (
+	_ ckpt.Stater = singleProc{}
+	_ ckpt.Stater = (*concatProc)(nil)
+	_ ckpt.Stater = (*chainProc)(nil)
+)

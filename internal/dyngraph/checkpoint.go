@@ -1,0 +1,233 @@
+package dyngraph
+
+import (
+	"fmt"
+	"sort"
+
+	"dynlocal/internal/ckpt"
+	"dynlocal/internal/graph"
+)
+
+// Checkpoint support: a Window serializes its full streak/ring state so
+// a restored checker resumes with bit-identical window deltas. LoadState
+// runs on a freshly constructed NewWindow(t, n) with the same geometry —
+// t and n are configuration, validated rather than restored.
+
+// tagWindow guards the window section of a checkpoint stream.
+const tagWindow uint64 = 0x81
+
+// SaveState implements ckpt.Stater. The spans map is written with sorted
+// keys so identical runs produce byte-identical checkpoints; the ring
+// slots, wake buckets and scan-feed edge list are written verbatim —
+// slot order is observable (it is the emission order of expiry/arrival
+// deltas), so preserving it exactly is what keeps resumed Delta output
+// bit-identical.
+func (w *Window) SaveState(cw *ckpt.Writer) {
+	cw.Section(tagWindow)
+	cw.Int(w.t)
+	cw.Int(w.n)
+	cw.Int(w.round)
+	cw.Int(w.mode)
+
+	keys := make([]graph.EdgeKey, 0, len(w.spans))
+	for k := range w.spans {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	cw.Int(len(keys))
+	for _, k := range keys {
+		sp := w.spans[k]
+		cw.Uvarint(uint64(k))
+		cw.Bool(sp.present)
+		cw.Int(sp.lastSeen)
+		cw.Int(sp.streakStart)
+		cw.Bool(sp.inInter)
+	}
+
+	nAwake := 0
+	for _, r := range w.wake {
+		if r != 0 {
+			nAwake++
+		}
+	}
+	cw.Int(nAwake)
+	for v, r := range w.wake {
+		if r != 0 {
+			cw.Varint(int64(v))
+			cw.Int(r)
+		}
+	}
+
+	saveRing(cw, w.expiry)
+	saveRing(cw, w.pending)
+
+	rounds := make([]int, 0, len(w.byWake))
+	for r := range w.byWake {
+		rounds = append(rounds, r)
+	}
+	sort.Ints(rounds)
+	cw.Int(len(rounds))
+	for _, r := range rounds {
+		cw.Int(r)
+		bucket := w.byWake[r]
+		cw.Int(len(bucket))
+		for _, v := range bucket {
+			cw.Varint(int64(v))
+		}
+	}
+
+	if w.mode == feedGraph {
+		cw.Int(len(w.prevEdges))
+		for _, k := range w.prevEdges {
+			cw.Uvarint(uint64(k))
+		}
+	}
+}
+
+// LoadState implements ckpt.Stater.
+func (w *Window) LoadState(cr *ckpt.Reader) {
+	cr.Section(tagWindow)
+	if w.round != 0 {
+		cr.Fail(fmt.Errorf("dyngraph: LoadState requires a fresh window, this one has observed %d rounds", w.round))
+		return
+	}
+	t := cr.Int()
+	n := cr.Int()
+	round := cr.Int()
+	mode := cr.Int()
+	if cr.Err() != nil {
+		return
+	}
+	switch {
+	case t != w.t:
+		cr.Fail(fmt.Errorf("dyngraph: checkpoint window size %d, window has %d", t, w.t))
+	case n != w.n:
+		cr.Fail(fmt.Errorf("dyngraph: checkpoint universe %d, window has %d", n, w.n))
+	case round < 0:
+		cr.Fail(fmt.Errorf("dyngraph: checkpoint has negative round %d", round))
+	case mode != feedUnset && mode != feedGraph && mode != feedDelta:
+		cr.Fail(fmt.Errorf("dyngraph: checkpoint has unknown feed mode %d", mode))
+	}
+	if cr.Err() != nil {
+		return
+	}
+	w.round = round
+	w.mode = mode
+
+	edgeCap := n * (n - 1) / 2
+	nSpans := cr.Count(edgeCap)
+	if cr.Err() != nil {
+		return
+	}
+	for i := 0; i < nSpans; i++ {
+		k := graph.EdgeKey(cr.Uvarint())
+		sp := edgeSpan{}
+		sp.present = cr.Bool()
+		sp.lastSeen = cr.Int()
+		sp.streakStart = cr.Int()
+		sp.inInter = cr.Bool()
+		if cr.Err() != nil {
+			return
+		}
+		if u, v := k.Nodes(); u < 0 || u >= v || int(v) >= n {
+			cr.Fail(fmt.Errorf("dyngraph: checkpoint edge %v outside universe [0,%d)", k, n))
+			return
+		}
+		w.spans[k] = sp
+	}
+
+	nAwake := cr.Count(n)
+	if cr.Err() != nil {
+		return
+	}
+	for i := 0; i < nAwake; i++ {
+		v := cr.Varint()
+		r := cr.Int()
+		if cr.Err() != nil {
+			return
+		}
+		if v < 0 || v >= int64(n) || r < 1 || r > round {
+			cr.Fail(fmt.Errorf("dyngraph: checkpoint wake entry (%d, %d) out of range", v, r))
+			return
+		}
+		w.wake[v] = r
+	}
+
+	w.expiry = loadRing(cr, w.t, edgeCap)
+	w.pending = loadRing(cr, w.t, edgeCap)
+	if cr.Err() != nil {
+		return
+	}
+
+	nBuckets := cr.Count(round + 1)
+	if cr.Err() != nil {
+		return
+	}
+	for i := 0; i < nBuckets; i++ {
+		r := cr.Int()
+		cnt := cr.Count(n)
+		if cr.Err() != nil {
+			return
+		}
+		bucket := make([]graph.NodeID, cnt)
+		for j := range bucket {
+			bucket[j] = graph.NodeID(cr.Varint())
+		}
+		if cr.Err() != nil {
+			return
+		}
+		w.byWake[r] = bucket
+	}
+
+	if mode == feedGraph {
+		nPrev := cr.Count(edgeCap)
+		if cr.Err() != nil {
+			return
+		}
+		w.prevEdges = make([]graph.EdgeKey, nPrev)
+		for i := range w.prevEdges {
+			w.prevEdges[i] = graph.EdgeKey(cr.Uvarint())
+		}
+	}
+}
+
+// saveRing writes a t-slot edge-key ring verbatim.
+func saveRing(cw *ckpt.Writer, ring [][]graph.EdgeKey) {
+	cw.Int(len(ring))
+	for _, slot := range ring {
+		cw.Int(len(slot))
+		for _, k := range slot {
+			cw.Uvarint(uint64(k))
+		}
+	}
+}
+
+// loadRing restores a ring of exactly t slots.
+func loadRing(cr *ckpt.Reader, t, edgeCap int) [][]graph.EdgeKey {
+	n := cr.Count(t)
+	if cr.Err() != nil {
+		return nil
+	}
+	if n != t {
+		cr.Fail(fmt.Errorf("dyngraph: checkpoint ring has %d slots, window needs %d", n, t))
+		return nil
+	}
+	ring := make([][]graph.EdgeKey, t)
+	for i := range ring {
+		cnt := cr.Count(edgeCap)
+		if cr.Err() != nil {
+			return nil
+		}
+		if cnt == 0 {
+			continue
+		}
+		slot := make([]graph.EdgeKey, cnt)
+		for j := range slot {
+			slot[j] = graph.EdgeKey(cr.Uvarint())
+		}
+		ring[i] = slot
+	}
+	return ring
+}
+
+var _ ckpt.Stater = (*Window)(nil)

@@ -1,0 +1,197 @@
+package dyngraph
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dynlocal/internal/ckpt"
+	"dynlocal/internal/graph"
+	"dynlocal/internal/prf"
+)
+
+// randomToggles draws a PRF-deterministic toggle schedule over the woken
+// prefix of the universe, waking a few more nodes each round.
+func randomToggles(s *deltaSchedule, seed uint64, round int) []graph.EdgeKey {
+	str := prf.NewStream(seed, -2, round, prf.PurposeWorkload)
+	wakeUpTo := min(s.n, 4+3*round)
+	for v := 0; v < wakeUpTo; v++ {
+		s.awake[v] = true
+	}
+	var toggles []graph.EdgeKey
+	for i := 0; i < s.n/2; i++ {
+		u := graph.NodeID(str.Intn(wakeUpTo))
+		v := graph.NodeID(str.Intn(wakeUpTo))
+		if u == v {
+			continue
+		}
+		toggles = append(toggles, graph.MakeEdgeKey(u, v))
+	}
+	return toggles
+}
+
+// wakeList returns the nodes newly awake this round under randomToggles'
+// staggered schedule.
+func wakeList(n, round int) []graph.NodeID {
+	lo, hi := 4+3*(round-1), min(n, 4+3*round)
+	if round == 1 {
+		lo = 0
+	}
+	var ws []graph.NodeID
+	for v := lo; v < hi; v++ {
+		ws = append(ws, graph.NodeID(v))
+	}
+	return ws
+}
+
+// TestWindowCheckpointRoundTrip drives a window to round k, serializes
+// it, restores into a fresh window and requires every subsequent Delta,
+// membership query and materialized graph to match the uninterrupted
+// window — for both feed styles and window sizes including the T=1
+// boundary.
+func TestWindowCheckpointRoundTrip(t *testing.T) {
+	const n = 32
+	const rounds = 20
+	for _, mode := range []string{"delta", "scan"} {
+		for _, T := range []int{1, 4, 7} {
+			for _, k := range []int{0, 1, 5, T, rounds - 1} {
+				t.Run(fmt.Sprintf("%s/t=%d/k=%d", mode, T, k), func(t *testing.T) {
+					ref := NewWindow(T, n)
+					sched := newDeltaSchedule(n)
+					var ckBytes []byte
+					snapshot := func() []byte {
+						var buf bytes.Buffer
+						w := ckpt.NewWriter(&buf)
+						ref.SaveState(w)
+						if err := w.Close(); err != nil {
+							t.Fatalf("save: %v", err)
+						}
+						return buf.Bytes()
+					}
+					if k == 0 {
+						ckBytes = snapshot()
+					}
+					type roundData struct {
+						d     Delta
+						stats Stats
+					}
+					var tailRef []roundData
+					for r := 1; r <= rounds; r++ {
+						adds, removes, g := sched.round(randomToggles(sched, 7, r))
+						var d *Delta
+						if mode == "delta" {
+							d = ref.ObserveEdgeDelta(adds, removes, wakeList(n, r))
+						} else {
+							d = ref.ObserveDelta(g, wakeList(n, r))
+						}
+						if r > k {
+							tailRef = append(tailRef, roundData{copyDelta(d), ref.Stats()})
+						}
+						if r == k {
+							ckBytes = snapshot()
+						}
+					}
+
+					res := NewWindow(T, n)
+					r := ckpt.NewReader(bytes.NewReader(ckBytes))
+					res.LoadState(r)
+					if err := r.Close(); err != nil {
+						t.Fatalf("load: %v", err)
+					}
+					if res.Round() != k {
+						t.Fatalf("restored round %d, want %d", res.Round(), k)
+					}
+					sched2 := newDeltaSchedule(n)
+					for r := 1; r <= rounds; r++ {
+						adds, removes, g := sched2.round(randomToggles(sched2, 7, r))
+						if r <= k {
+							continue // schedule replay only; window starts at k
+						}
+						var d *Delta
+						if mode == "delta" {
+							d = res.ObserveEdgeDelta(adds, removes, wakeList(n, r))
+						} else {
+							d = res.ObserveDelta(g, wakeList(n, r))
+						}
+						got := roundData{copyDelta(d), res.Stats()}
+						want := tailRef[r-k-1]
+						if !reflect.DeepEqual(got.d, want.d) {
+							t.Fatalf("round %d: delta diverges\ngot  %+v\nwant %+v", r, got.d, want.d)
+						}
+						if got.stats != want.stats {
+							t.Fatalf("round %d: stats %+v vs %+v", r, got.stats, want.stats)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestWindowCheckpointDeterministicBytes requires two snapshots of
+// identical windows to be byte-identical.
+func TestWindowCheckpointDeterministicBytes(t *testing.T) {
+	const n = 24
+	mk := func() []byte {
+		w := NewWindow(3, n)
+		sched := newDeltaSchedule(n)
+		for r := 1; r <= 9; r++ {
+			adds, removes, _ := sched.round(randomToggles(sched, 5, r))
+			w.ObserveEdgeDelta(adds, removes, wakeList(n, r))
+		}
+		var buf bytes.Buffer
+		cw := ckpt.NewWriter(&buf)
+		w.SaveState(cw)
+		if err := cw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if a, b := mk(), mk(); !bytes.Equal(a, b) {
+		t.Fatalf("snapshots of identical windows differ: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// TestWindowLoadStateRejects pins the restore-side validation.
+func TestWindowLoadStateRejects(t *testing.T) {
+	const n = 16
+	w := NewWindow(3, n)
+	sched := newDeltaSchedule(n)
+	for r := 1; r <= 5; r++ {
+		adds, removes, _ := sched.round(randomToggles(sched, 3, r))
+		w.ObserveEdgeDelta(adds, removes, wakeList(n, r))
+	}
+	var buf bytes.Buffer
+	cw := ckpt.NewWriter(&buf)
+	w.SaveState(cw)
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ck := buf.Bytes()
+
+	load := func(dst *Window, b []byte) error {
+		r := ckpt.NewReader(bytes.NewReader(b))
+		dst.LoadState(r)
+		if err := r.Err(); err != nil {
+			return err
+		}
+		return r.Close()
+	}
+	if err := load(NewWindow(4, n), ck); err == nil {
+		t.Fatal("restore into different window size succeeded")
+	}
+	if err := load(NewWindow(3, n+1), ck); err == nil {
+		t.Fatal("restore into different universe succeeded")
+	}
+	used := NewWindow(3, n)
+	used.ObserveEdgeDelta(nil, nil, []graph.NodeID{0, 1})
+	if err := load(used, ck); err == nil {
+		t.Fatal("restore into used window succeeded")
+	}
+	for cut := 0; cut < len(ck); cut += 13 {
+		if err := load(NewWindow(3, n), ck[:cut]); err == nil {
+			t.Fatalf("restore of %d-byte prefix succeeded", cut)
+		}
+	}
+}

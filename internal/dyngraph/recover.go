@@ -1,0 +1,68 @@
+package dyngraph
+
+import (
+	"fmt"
+	"io"
+)
+
+// RecoverTrace salvages a possibly-torn trace recording: it scans src for
+// the longest decodable round prefix — a crash mid-write leaves the file
+// truncated anywhere, including inside a varint — then re-encodes exactly
+// those rounds to dst with a corrected header count, producing a valid
+// trace a replay can consume. It returns the number of rounds recovered.
+//
+// The scan stops at the first decode failure of any kind; without a
+// per-round checksum in the v1 wire format, truncation and corruption
+// are indistinguishable, and everything before the failure is, by
+// construction, a consistent delta sequence. A complete, healthy trace
+// round-trips unchanged (modulo the header count already matching). Only
+// the header must be readable: a file torn inside it is unrecoverable
+// and returns an error. Memory use is the streaming decoder's — two
+// passes over src, nothing trace-sized is materialized.
+//
+// Callers recovering a recording in place should write dst to a
+// temporary file and rename it over the original after a successful
+// return, the same atomic pattern the recorder itself uses.
+func RecoverTrace(src io.ReadSeeker, dst io.Writer) (int, error) {
+	if _, err := src.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	d, err := NewStreamDecoder(src)
+	if err != nil {
+		return 0, fmt.Errorf("dyngraph: recover: unreadable trace header: %w", err)
+	}
+	complete := 0
+	for {
+		if _, err := d.Next(); err != nil {
+			// io.EOF is the clean end of a whole trace; anything else is
+			// the tear (or corruption) ending the recoverable prefix.
+			break
+		}
+		complete++
+	}
+
+	if _, err := src.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	d2, err := NewStreamDecoder(src)
+	if err != nil {
+		return 0, fmt.Errorf("dyngraph: recover: header unreadable on second pass: %w", err)
+	}
+	enc, err := NewStreamEncoder(dst, d2.N(), complete)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < complete; i++ {
+		tr, err := d2.Next()
+		if err != nil {
+			return 0, fmt.Errorf("dyngraph: recover: round %d vanished on second pass: %w", i+1, err)
+		}
+		if err := enc.WriteRound(tr.Wake, tr.Adds, tr.Removes); err != nil {
+			return 0, err
+		}
+	}
+	if err := enc.Close(); err != nil {
+		return 0, err
+	}
+	return complete, nil
+}

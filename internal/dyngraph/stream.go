@@ -38,6 +38,14 @@ const decodePrealloc = 1 << 16
 // largest experiment sizes.
 const MaxDecodeNodes = 1 << 20
 
+// MaxDecodeRounds bounds the round count a decoded trace header may
+// declare. The count only paces iteration — no allocation scales with it
+// — but consumers size progress reporting, recovery scans and resume
+// fast-forwards by it, so a hostile header claiming 2⁶⁴−1 rounds should
+// fail at the header, not after hours of Next calls. Far above any real
+// recording; in-memory traces are not restricted.
+const MaxDecodeRounds = 1 << 32
+
 // TraceRound is one decoded round of a trace stream: the wake set and the
 // round's sorted edge diff against the previous round. The slices are
 // decoder-owned and reused by the next Next call — consume them within
@@ -70,13 +78,15 @@ type TraceRound struct {
 // replayed edge set — so an encoded stream is always decodable and
 // encoder misuse surfaces at the write site, not in a later replay.
 type StreamEncoder struct {
-	bw      *bufio.Writer
-	n       uint64
-	rounds  int
-	written int
-	present map[graph.EdgeKey]struct{}
-	closed  bool
-	err     error
+	w         io.Writer // underlying sink, for Sync's durability barrier
+	bw        *bufio.Writer
+	n         uint64
+	rounds    int
+	written   int
+	syncEvery int
+	present   map[graph.EdgeKey]struct{}
+	closed    bool
+	err       error
 }
 
 // NewStreamEncoder starts a trace stream over an n-node universe holding
@@ -89,6 +99,7 @@ func NewStreamEncoder(w io.Writer, n, rounds int) (*StreamEncoder, error) {
 		return nil, fmt.Errorf("dyngraph: negative round count %d", rounds)
 	}
 	e := &StreamEncoder{
+		w:       w,
 		bw:      bufio.NewWriter(w),
 		n:       uint64(n),
 		rounds:  rounds,
@@ -158,7 +169,44 @@ func (e *StreamEncoder) WriteRound(wake []graph.NodeID, adds, removes []graph.Ed
 	e.writeEdgeList(adds)
 	e.writeEdgeList(removes)
 	e.written++
+	if e.err == nil && e.syncEvery > 0 && e.written%e.syncEvery == 0 {
+		return e.Sync()
+	}
 	return e.err
+}
+
+// Sync is the recorder's durability barrier: it flushes all buffered
+// rounds to the underlying writer and, when that writer supports it
+// (an *os.File, anything with a `Sync() error` method), forces them to
+// stable storage. After Sync returns nil, every round written so far
+// survives a crash of the process or the machine — at worst the file is
+// torn inside a later, unsynced round, which RecoverTrace truncates back
+// to the last complete one. Errors are sticky like write errors.
+func (e *StreamEncoder) Sync() error {
+	if e.err != nil {
+		return e.err
+	}
+	if err := e.bw.Flush(); err != nil {
+		return e.fail(err)
+	}
+	if s, ok := e.w.(interface{ Sync() error }); ok {
+		if err := s.Sync(); err != nil {
+			return e.fail(err)
+		}
+	}
+	return nil
+}
+
+// SyncEvery arranges an automatic Sync after every k written rounds —
+// the periodic sync marker of a crash-safe recording. k = 0 (the
+// default) disables automatic syncing; Close still flushes. Smaller k
+// bounds the number of rounds a crash can lose at the price of an
+// fsync's latency every k rounds.
+func (e *StreamEncoder) SyncEvery(k int) {
+	if k < 0 {
+		k = 0
+	}
+	e.syncEvery = k
 }
 
 // Close flushes the stream and fails if fewer rounds than declared were
@@ -272,6 +320,9 @@ func NewStreamDecoder(r io.Reader) (*StreamDecoder, error) {
 	rounds, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
+	}
+	if rounds > MaxDecodeRounds {
+		return nil, fmt.Errorf("dyngraph: trace round count %d exceeds decode limit %d", rounds, MaxDecodeRounds)
 	}
 	return &StreamDecoder{
 		br:     br,

@@ -102,6 +102,17 @@ func (s *Stream) Derive(p Purpose) *Stream {
 	return NewStream(s.seed, s.node, s.round, p)
 }
 
+// Cursor returns the stream's position: the number of blocks consumed
+// so far. Together with the (seed, node, round, purpose) key — which the
+// holder knows statically — it is the stream's complete state, so a
+// checkpointed component can persist just the cursor and resume its
+// stream bit-identically with SetCursor.
+func (s *Stream) Cursor() uint64 { return s.ctr }
+
+// SetCursor repositions the stream to an absolute block position, as
+// previously observed via Cursor.
+func (s *Stream) SetCursor(c uint64) { s.ctr = c }
+
 // Uint64 returns the next 64-bit block.
 func (s *Stream) Uint64() uint64 {
 	v := mix64(Block(s.seed, s.node, s.round, s.purpose) + s.ctr*mixGamma)

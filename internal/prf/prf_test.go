@@ -323,3 +323,43 @@ func BenchmarkStreamFloat64(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestCursorResume(t *testing.T) {
+	// A stream restored from its cursor must continue bit-identically:
+	// draw k values, snapshot the cursor, and check the next draws match
+	// an uninterrupted reference stream at every prefix length k.
+	for k := 0; k < 20; k++ {
+		ref := NewStream(77, 3, 9, PurposeAdversary)
+		for i := 0; i < k; i++ {
+			ref.Uint64()
+		}
+		cur := ref.Cursor()
+		if cur != uint64(k) {
+			t.Fatalf("Cursor after %d draws = %d", k, cur)
+		}
+		resumed := NewStream(77, 3, 9, PurposeAdversary)
+		resumed.SetCursor(cur)
+		for i := 0; i < 8; i++ {
+			if got, want := resumed.Uint64(), ref.Uint64(); got != want {
+				t.Fatalf("k=%d draw %d: resumed %#x, reference %#x", k, i, got, want)
+			}
+		}
+	}
+}
+
+func TestCursorSurvivesRejectionSampling(t *testing.T) {
+	// Intn consumes a variable number of blocks via rejection sampling;
+	// the cursor must account for every consumed block, not just accepted
+	// draws.
+	s := NewStream(5, 1, 2, PurposeAux)
+	for i := 0; i < 100; i++ {
+		s.Intn(3)
+	}
+	resumed := NewStream(5, 1, 2, PurposeAux)
+	resumed.SetCursor(s.Cursor())
+	for i := 0; i < 10; i++ {
+		if got, want := resumed.Intn(1000), s.Intn(1000); got != want {
+			t.Fatalf("draw %d after resume: %d != %d", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package verify
+
+import (
+	"fmt"
+
+	"dynlocal/internal/ckpt"
+	"dynlocal/internal/graph"
+	"dynlocal/internal/problems"
+)
+
+// Checkpoint support: a TDynamic checker serializes its window, output
+// snapshot and aggregate tallies; the violation trackers are NOT
+// serialized — their state is a pure function of (outputs, core nodes,
+// window graphs), all of which the checkpoint already carries, so
+// LoadState rebuilds them by replaying Activate/OutputChanged/EdgeAdded
+// against the restored window. That keeps the wire format free of
+// tracker internals (flag arrays, conflict maps) and immune to their
+// refactoring.
+
+// tagTDynamic guards the checker section of a checkpoint stream.
+const tagTDynamic uint64 = 0x91
+
+// SaveState implements ckpt.Stater.
+func (c *TDynamic) SaveState(w *ckpt.Writer) {
+	w.Section(tagTDynamic)
+	w.Bool(c.oracle)
+	c.window.SaveState(w)
+	w.Int(c.rounds)
+	w.Int(c.invalidRounds)
+	w.Int(c.totalPacking)
+	w.Int(c.totalCover)
+	w.Int(c.totalBotCore)
+	if c.oracle {
+		return
+	}
+	w.Int(c.coreCount)
+	w.Int(c.botCore)
+	for _, val := range c.prevOut {
+		w.Varint(int64(val))
+	}
+}
+
+// LoadState implements ckpt.Stater. It must run on a freshly constructed
+// checker of the same kind (NewTDynamic or NewTDynamicOracle) with the
+// same problem pair, window size and universe.
+func (c *TDynamic) LoadState(r *ckpt.Reader) {
+	r.Section(tagTDynamic)
+	if c.rounds != 0 || c.window.Round() != 0 {
+		r.Fail(fmt.Errorf("verify: LoadState requires a fresh checker, this one has observed %d rounds", c.window.Round()))
+		return
+	}
+	oracle := r.Bool()
+	if r.Err() != nil {
+		return
+	}
+	if oracle != c.oracle {
+		r.Fail(fmt.Errorf("verify: checkpoint oracle=%v, checker oracle=%v", oracle, c.oracle))
+		return
+	}
+	c.window.LoadState(r)
+	c.rounds = r.Int()
+	c.invalidRounds = r.Int()
+	c.totalPacking = r.Int()
+	c.totalCover = r.Int()
+	c.totalBotCore = r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if c.rounds != c.window.Round() {
+		r.Fail(fmt.Errorf("verify: checkpoint has %d checked rounds but window round %d", c.rounds, c.window.Round()))
+		return
+	}
+	if c.oracle {
+		return
+	}
+	c.coreCount = r.Int()
+	c.botCore = r.Int()
+	for i := range c.prevOut {
+		c.prevOut[i] = problems.Value(r.Varint())
+	}
+	if r.Err() != nil {
+		return
+	}
+
+	// Rebuild the violation trackers from the restored window and output
+	// snapshot: outputs first (vals), then the window graphs' edges, then
+	// core activation — each tracker maintains its invariant under any
+	// incremental order, so the result equals the uninterrupted state.
+	for i, val := range c.prevOut {
+		if val != problems.Bot {
+			c.pt.OutputChanged(graph.NodeID(i), val)
+			c.ct.OutputChanged(graph.NodeID(i), val)
+		}
+	}
+	for _, k := range c.window.IntersectionGraph().EdgeKeys() {
+		u, v := k.Nodes()
+		c.pt.EdgeAdded(u, v)
+	}
+	for _, k := range c.window.UnionGraph().EdgeKeys() {
+		u, v := k.Nodes()
+		c.ct.EdgeAdded(u, v)
+	}
+	core := c.window.CoreNodes()
+	for _, v := range core {
+		c.pt.Activate(v)
+		c.ct.Activate(v)
+	}
+	if len(core) != c.coreCount {
+		r.Fail(fmt.Errorf("verify: checkpoint core count %d, window has %d", c.coreCount, len(core)))
+	}
+}
+
+var _ ckpt.Stater = (*TDynamic)(nil)

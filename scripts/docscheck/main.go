@@ -58,7 +58,7 @@ func main() {
 
 	// Load-bearing docs must exist (a rename or deletion fails here, not
 	// as a silently-skipped glob miss); the rest of docs/ is globbed.
-	required := []string{"README.md", "ARCHITECTURE.md", "docs/linting.md", "docs/benchmarking.md"}
+	required := []string{"README.md", "ARCHITECTURE.md", "docs/linting.md", "docs/benchmarking.md", "docs/checkpointing.md"}
 	for _, md := range required {
 		if _, err := os.Stat(md); err != nil {
 			problems = append(problems, fmt.Sprintf("required doc %s is missing", md))
