@@ -1,6 +1,8 @@
 package dynlocal
 
 import (
+	"bytes"
+	"fmt"
 	"io"
 
 	"dynlocal/internal/adversary"
@@ -319,6 +321,154 @@ func ReadCheckpoint(r io.Reader, e *Engine, c *TDynamicChecker) error {
 		return err
 	}
 	return cr.Close()
+}
+
+// ChainMagic is the leading bytes of a checkpoint chain container
+// written by WriteCheckpointChain. A plain WriteCheckpoint stream starts
+// with the varint-framed "DLCK1" header instead, so readers can sniff
+// which format a file holds from its first byte.
+const ChainMagic = ckpt.ChainMagic
+
+// RestoreArena is a reusable allocation pool for checkpoint restores:
+// node states, pipeline slots and snapshot buffers are carved from its
+// chunks instead of the heap, so a restore-heavy loop (fault-tolerant
+// replay, chain application, restore benchmarks) allocates almost
+// nothing after warm-up. The arena's memory is owned by the one restored
+// run built from it — call Reset only after that engine and checker have
+// been dropped, and never share one arena across concurrent restores.
+type RestoreArena = ckpt.RestoreArena
+
+// NewRestoreArena creates an empty restore arena.
+func NewRestoreArena() *RestoreArena { return ckpt.NewRestoreArena() }
+
+// ReadCheckpointArena is ReadCheckpoint with the restore's allocations
+// carved from a (optionally nil) reusable arena. See RestoreArena for
+// the ownership rule.
+func ReadCheckpointArena(r io.Reader, e *Engine, c *TDynamicChecker, a *RestoreArena) error {
+	cr := ckpt.NewReader(r)
+	cr.SetArena(a)
+	e.RestoreFrom(cr)
+	if c != nil {
+		c.LoadState(cr)
+	}
+	if err := cr.Err(); err != nil {
+		return err
+	}
+	return cr.Close()
+}
+
+// WriteCheckpointChain starts an incremental checkpoint chain on w: the
+// chain magic followed by one full base record capturing the engine and,
+// when non-nil, the checker — the same composed state WriteCheckpoint
+// serializes, framed as a chain record. The record is noted as the chain
+// head, so subsequent AppendCheckpointDelta calls diff against it. Like
+// WriteCheckpoint it must run at a round barrier. The same c (nil or
+// not) must be passed to every call on one chain.
+func WriteCheckpointChain(w io.Writer, e *Engine, c *TDynamicChecker) error {
+	if err := ckpt.WriteChainMagic(w); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	cw := ckpt.NewWriter(&buf)
+	e.CheckpointTo(cw)
+	if c != nil {
+		c.SaveState(cw)
+	}
+	if err := cw.Close(); err != nil {
+		return err
+	}
+	if err := ckpt.AppendChainRecord(w, buf.Bytes()); err != nil {
+		return err
+	}
+	e.NoteCheckpointBase(cw.Sum32())
+	if c != nil {
+		c.NoteCheckpoint()
+	}
+	return nil
+}
+
+// AppendCheckpointDelta appends one delta record to a chain started with
+// WriteCheckpointChain: only the state that moved since the previous
+// record — dirty nodes, the net topology diff, changed snapshot-ring
+// columns, the window's dirty spans and slots — so its cost scales with
+// the inter-checkpoint activity, not with the universe size. On success
+// the record becomes the chain tail; on error nothing is noted, and the
+// next append diffs against the last record that actually persisted —
+// exactly what a crashed-then-resumed appender needs.
+func AppendCheckpointDelta(w io.Writer, e *Engine, c *TDynamicChecker) error {
+	var buf bytes.Buffer
+	cw := ckpt.NewWriter(&buf)
+	e.CheckpointDeltaTo(cw)
+	if c != nil {
+		c.SaveDelta(cw)
+	}
+	if err := cw.Close(); err != nil {
+		return err
+	}
+	if err := ckpt.AppendChainRecord(w, buf.Bytes()); err != nil {
+		return err
+	}
+	e.NoteCheckpoint(cw.Sum32())
+	if c != nil {
+		c.NoteCheckpoint()
+	}
+	return nil
+}
+
+// ReadCheckpointChain restores a chain written by WriteCheckpointChain +
+// AppendCheckpointDelta into a freshly constructed engine and checker
+// (nil to match a nil at write time), optionally carving allocations
+// from a reusable arena. Every record is CRC-verified in memory and its
+// parent linkage validated before it applies, so a torn tail, a
+// reordered record or a delta over the wrong base fails cleanly. After a
+// successful return the run both continues bit-identically from the last
+// record's round and keeps appending deltas to the same chain.
+func ReadCheckpointChain(r io.Reader, e *Engine, c *TDynamicChecker, a *RestoreArena) error {
+	cr := ckpt.NewChainReader(r)
+	first := true
+	for {
+		rec, err := cr.Next()
+		if err == io.EOF {
+			if first {
+				return fmt.Errorf("dynlocal: empty checkpoint chain")
+			}
+			if c != nil {
+				return c.FinishChain()
+			}
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		rr := ckpt.NewReader(bytes.NewReader(rec))
+		rr.SetArena(a)
+		if first {
+			e.RestoreFrom(rr)
+			if c != nil {
+				c.LoadState(rr)
+			}
+		} else {
+			e.RestoreDeltaFrom(rr)
+			if c != nil {
+				c.LoadDelta(rr)
+			}
+		}
+		if err := rr.Err(); err != nil {
+			return err
+		}
+		if err := rr.Close(); err != nil {
+			return err
+		}
+		if first {
+			e.NoteCheckpointBase(rr.Sum32())
+		} else {
+			e.NoteCheckpoint(rr.Sum32())
+		}
+		if c != nil {
+			c.NoteCheckpoint()
+		}
+		first = false
+	}
 }
 
 // RecoverTrace salvages a torn trace recording — a crash mid-write

@@ -19,6 +19,7 @@ import (
 
 	"dynlocal/internal/adversary"
 	"dynlocal/internal/algos/mis"
+	"dynlocal/internal/ckpt"
 	"dynlocal/internal/core"
 	"dynlocal/internal/dyngraph"
 	"dynlocal/internal/engine"
@@ -907,11 +908,22 @@ func BenchmarkTraceReplay(b *testing.B) {
 
 // BenchmarkCheckpoint measures the cost of the checkpoint/resume plane
 // as the universe grows: snapshotting a mid-run engine+checker pair to a
-// byte stream, and restoring a fresh pair from it. Both scale with live
-// state (nodes, window edges, adversary footprint), not with elapsed
-// rounds; bytes/op sizes the checkpoint itself.
+// byte stream, restoring a fresh pair from it (heap and arena-pooled),
+// writing one incremental delta record, and replaying a base+delta
+// chain. Full snapshot and restore scale with live state (nodes, window
+// edges, adversary footprint); the delta modes scale with the activity
+// between records — hence the two churn levels — and bytes/op sizes the
+// serialized form itself.
 func BenchmarkCheckpoint(b *testing.B) {
 	const rounds = 32
+	// interval is the rounds between chain records: each delta covers
+	// interval rounds of churn and algorithm reaction.
+	const interval = 4
+
+	// Full-state modes: the combined MIS pipeline mid-run, the heaviest
+	// state the plane serializes (snapshot ring, window, beacon levels).
+	// These keep the historical names and configuration so runs compare
+	// across recorded baselines.
 	for _, n := range []int{1024, 4096, 16384} {
 		mkAdv := func() adversary.Adversary {
 			base := graph.GNP(n, 8.0/float64(n), prf.NewStream(7, 0, 0, prf.PurposeWorkload))
@@ -951,7 +963,126 @@ func BenchmarkCheckpoint(b *testing.B) {
 				}
 			}
 		})
+		b.Run(fmt.Sprintf("arena-restore/N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(ck.Len()))
+			arena := NewRestoreArena()
+			for i := 0; i < b.N; i++ {
+				// The previous iteration's restored run is dead; its
+				// arena memory is reusable.
+				arena.Reset()
+				algo2 := mis.NewMIS(n)
+				e2 := engine.New(cfg, mkAdv(), algo2)
+				chk2 := verify.NewTDynamic(problems.MIS(), algo2.T1, n)
+				if err := ReadCheckpointArena(bytes.NewReader(ck.Bytes()), e2, chk2, arena); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
+
+	// Delta modes: standalone dynamic MIS warmed past its convergence
+	// window, where most of the universe is quiescent and a delta record
+	// pays only for the nodes churn actually disturbs. (The combined
+	// pipeline is the wrong scenario here by construction: Concat nodes
+	// never quiesce — beacons re-broadcast and the simulation pipeline
+	// rotates every round — so its deltas degenerate to near-full size,
+	// as docs/checkpointing.md spells out.) The two churn levels show
+	// delta cost tracking per-interval activity, not N.
+	for _, cl := range []struct {
+		tag      string
+		add, del int
+	}{{"churn=32", 16, 16}, {"churn=4", 2, 2}} {
+		for _, n := range []int{1024, 4096, 16384} {
+			mkAdv := func() adversary.Adversary {
+				base := graph.GNP(n, 8.0/float64(n), prf.NewStream(7, 0, 0, prf.PurposeWorkload))
+				return &adversary.Churn{Base: base, Add: cl.add, Del: cl.del, Seed: 3}
+			}
+			cfg := engine.Config{N: n, Seed: 1, Workers: 4}
+			t1 := mis.DefaultMISWindow(n)
+			e := engine.New(cfg, mkAdv(), mis.NewDynamic(n))
+			chk := verify.NewTDynamic(problems.MIS(), t1, n)
+			e.OnRound(func(info *engine.RoundInfo) { chk.Feed(info.Delta()) })
+			e.Run(2*t1 + 16)
+			if cl.add == 16 {
+				// The delta acceptance ratio compares against a full
+				// snapshot of the same engine, not the combined one.
+				var full bytes.Buffer
+				if err := WriteCheckpoint(&full, e, chk); err != nil {
+					b.Fatal(err)
+				}
+				b.Run(fmt.Sprintf("snapshot-dmis/N=%d", n), func(b *testing.B) {
+					b.ReportAllocs()
+					b.SetBytes(int64(full.Len()))
+					for i := 0; i < b.N; i++ {
+						var buf bytes.Buffer
+						buf.Grow(full.Len())
+						if err := WriteCheckpoint(&buf, e, chk); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+
+			// Build the incremental chain: base at the warmed round, then
+			// one delta record per interval of live rounds.
+			var chain bytes.Buffer
+			if err := WriteCheckpointChain(&chain, e, chk); err != nil {
+				b.Fatal(err)
+			}
+			for rec := 0; rec < 3; rec++ {
+				for i := 0; i < interval; i++ {
+					e.Step()
+				}
+				if err := AppendCheckpointDelta(&chain, e, chk); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// One more interval of activity backs the delta-write mode.
+			for i := 0; i < interval; i++ {
+				e.Step()
+			}
+
+			b.Run(fmt.Sprintf("delta/%s/N=%d", cl.tag, n), func(b *testing.B) {
+				b.ReportAllocs()
+				var probe bytes.Buffer
+				if err := appendDeltaRecord(&probe, e, chk); err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(int64(probe.Len()))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var buf bytes.Buffer
+					buf.Grow(probe.Len())
+					if err := appendDeltaRecord(&buf, e, chk); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("chain-restore/%s/N=%d", cl.tag, n), func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(int64(chain.Len()))
+				arena := NewRestoreArena()
+				for i := 0; i < b.N; i++ {
+					arena.Reset()
+					e2 := engine.New(cfg, mkAdv(), mis.NewDynamic(n))
+					chk2 := verify.NewTDynamic(problems.MIS(), t1, n)
+					if err := ReadCheckpointChain(bytes.NewReader(chain.Bytes()), e2, chk2, arena); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// appendDeltaRecord serializes one delta record without noting it, so a
+// benchmark can write the same delta repeatedly against a live run.
+func appendDeltaRecord(buf *bytes.Buffer, e *engine.Engine, chk *verify.TDynamic) error {
+	w := ckpt.NewWriter(buf)
+	e.CheckpointDeltaTo(w)
+	chk.SaveDelta(w)
+	return w.Close()
 }
 
 func BenchmarkStatsFit(b *testing.B) {

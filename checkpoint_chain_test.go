@@ -1,0 +1,201 @@
+package dynlocal
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"slices"
+	"testing"
+)
+
+var updateChainGolden = flag.Bool("update", false, "rewrite the golden chain fixture under testdata/")
+
+// The composed-chain scenario: a combined MIS run under churn with the
+// T-dynamic checker fed from the engine's round-delta plane — the exact
+// pairing WriteCheckpointChain/ReadCheckpointChain is documented for.
+const (
+	chainN      = 128
+	chainRounds = 24
+	chainBase   = 4
+	chainStride = 3
+)
+
+func newComposedRun(workers int) (*Engine, *TDynamicChecker, *[]TDynamicReport) {
+	algo := NewMIS(chainN)
+	adv := NewChurn(GNP(chainN, 8.0/float64(chainN), 11), 6, 6, 12)
+	eng := NewEngine(EngineConfig{N: chainN, Seed: 5, Workers: workers}, adv, algo)
+	chk := NewTDynamicChecker(MISProblem(), algo.T1, chainN)
+	reports := new([]TDynamicReport)
+	eng.OnRound(func(info *RoundInfo) {
+		rep := chk.Feed(info.Delta())
+		rep.PackingViolations = slices.Clone(rep.PackingViolations)
+		rep.CoverViolations = slices.Clone(rep.CoverViolations)
+		*reports = append(*reports, rep)
+	})
+	return eng, chk, reports
+}
+
+func checkerTotals(c *TDynamicChecker) [5]int {
+	rounds, invalid, packing, cover, bot := c.Totals()
+	return [5]int{rounds, invalid, packing, cover, bot}
+}
+
+// buildComposedChain plays the reference run, starting a chain at round
+// chainBase and appending a delta every chainStride rounds. It returns
+// the per-round reports, the final checker totals, the chain prefix
+// after each record, and the round each record was taken at.
+func buildComposedChain(t *testing.T) (refReports []TDynamicReport, refTotals [5]int, prefixes [][]byte, recRounds []int) {
+	t.Helper()
+	eng, chk, reports := newComposedRun(1)
+	var chain bytes.Buffer
+	for r := 1; r <= chainRounds; r++ {
+		eng.Step()
+		switch {
+		case r == chainBase:
+			if err := WriteCheckpointChain(&chain, eng, chk); err != nil {
+				t.Fatalf("base record at round %d: %v", r, err)
+			}
+		case r > chainBase && (r-chainBase)%chainStride == 0:
+			if err := AppendCheckpointDelta(&chain, eng, chk); err != nil {
+				t.Fatalf("delta record at round %d: %v", r, err)
+			}
+		default:
+			continue
+		}
+		prefixes = append(prefixes, slices.Clone(chain.Bytes()))
+		recRounds = append(recRounds, r)
+	}
+	return *reports, checkerTotals(chk), prefixes, recRounds
+}
+
+// resumeComposed restores a chain prefix into a fresh run and replays to
+// the end, returning the post-restore reports and final totals.
+func resumeComposed(t *testing.T, prefix []byte, workers int, arena *RestoreArena) (at int, reports []TDynamicReport, tot [5]int) {
+	t.Helper()
+	eng, chk, rep := newComposedRun(workers)
+	if err := ReadCheckpointChain(bytes.NewReader(prefix), eng, chk, arena); err != nil {
+		t.Fatalf("restore chain prefix: %v", err)
+	}
+	at = eng.Round()
+	for eng.Round() < chainRounds {
+		eng.Step()
+	}
+	return at, *rep, checkerTotals(chk)
+}
+
+// TestComposedChainResumeEveryPrefix is the facade-level chain
+// equivalence property: restoring every prefix of a composed
+// engine+checker chain — with and without an arena, under worker counts
+// 1 and 4 — and replaying to the end must reproduce the uninterrupted
+// run's T-dynamic reports round for round and its final totals.
+func TestComposedChainResumeEveryPrefix(t *testing.T) {
+	refReports, refTotals, prefixes, recRounds := buildComposedChain(t)
+	arena := NewRestoreArena()
+	for i, prefix := range prefixes {
+		for _, workers := range []int{1, 4} {
+			// The arena owns one restored run at a time: Reset only
+			// after the previous restore's engine and checker are dropped.
+			var a *RestoreArena
+			if i%2 == 1 {
+				arena.Reset()
+				a = arena
+			}
+			at, reports, tot := resumeComposed(t, prefix, workers, a)
+			if at != recRounds[i] {
+				t.Fatalf("prefix %d: restored at round %d, want %d", i, at, recRounds[i])
+			}
+			want := refReports[recRounds[i]:]
+			if len(reports) != len(want) {
+				t.Fatalf("prefix %d workers %d: %d resumed reports, want %d", i, workers, len(reports), len(want))
+			}
+			for j := range want {
+				if !reflect.DeepEqual(reports[j], want[j]) {
+					t.Fatalf("prefix %d workers %d: round %d report diverges:\nwant %+v\ngot  %+v",
+						i, workers, recRounds[i]+j+1, want[j], reports[j])
+				}
+			}
+			if tot != refTotals {
+				t.Fatalf("prefix %d workers %d: totals %v, want %v", i, workers, tot, refTotals)
+			}
+		}
+	}
+}
+
+// TestReadCheckpointArenaEquivalence pins the bare-stream arena path:
+// ReadCheckpointArena must behave exactly like ReadCheckpoint, and one
+// arena must be reusable across sequential restores via Reset.
+func TestReadCheckpointArenaEquivalence(t *testing.T) {
+	const ckAt = 10
+	eng, chk, reports := newComposedRun(1)
+	var ck bytes.Buffer
+	for r := 1; r <= chainRounds; r++ {
+		eng.Step()
+		if r == ckAt {
+			if err := WriteCheckpoint(&ck, eng, chk); err != nil {
+				t.Fatalf("checkpoint: %v", err)
+			}
+		}
+	}
+	refReports, refTotals := *reports, checkerTotals(chk)
+
+	arena := NewRestoreArena()
+	for attempt := 0; attempt < 2; attempt++ {
+		arena.Reset()
+		eng2, chk2, rep2 := newComposedRun(4)
+		if err := ReadCheckpointArena(bytes.NewReader(ck.Bytes()), eng2, chk2, arena); err != nil {
+			t.Fatalf("attempt %d: arena restore: %v", attempt, err)
+		}
+		if eng2.Round() != ckAt {
+			t.Fatalf("attempt %d: restored at round %d, want %d", attempt, eng2.Round(), ckAt)
+		}
+		for eng2.Round() < chainRounds {
+			eng2.Step()
+		}
+		if !reflect.DeepEqual(*rep2, refReports[ckAt:]) {
+			t.Fatalf("attempt %d: resumed reports diverge from reference", attempt)
+		}
+		if got := checkerTotals(chk2); got != refTotals {
+			t.Fatalf("attempt %d: totals %v, want %v", attempt, got, refTotals)
+		}
+	}
+}
+
+// TestComposedChainGolden pins the chain container bytes: the scenario
+// is fully deterministic, so the complete chain must match the checked-in
+// fixture bit for bit. Regenerate with
+//
+//	go test -run TestComposedChainGolden -update
+//
+// after an intentional format change, and call out the change in
+// docs/checkpointing.md.
+func TestComposedChainGolden(t *testing.T) {
+	_, _, prefixes, recRounds := buildComposedChain(t)
+	got := prefixes[len(prefixes)-1]
+	path := filepath.Join("testdata", "chain_v1_mis_n128.golden")
+	if *updateChainGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("chain bytes diverge from golden: %d bytes vs %d — rerun with -update if the format change is intentional", len(got), len(want))
+	}
+
+	// The checked-in fixture must still restore.
+	eng, chk, _ := newComposedRun(1)
+	if err := ReadCheckpointChain(bytes.NewReader(want), eng, chk, nil); err != nil {
+		t.Fatalf("golden chain restore: %v", err)
+	}
+	if last := recRounds[len(recRounds)-1]; eng.Round() != last {
+		t.Fatalf("golden chain restored at round %d, want %d", eng.Round(), last)
+	}
+}

@@ -11,6 +11,7 @@
 //	go run ./cmd/dynsim -adversary p2p -n 4096 -rounds 500 -record run.trace
 //	go run ./cmd/dynsim -trace run.trace
 //	go run ./cmd/dynsim -adversary churn -rounds 10000 -checkpoint run.ck -checkpoint-every 500
+//	go run ./cmd/dynsim -adversary churn -rounds 10000 -checkpoint run.ck -checkpoint-every 500 -checkpoint-full-every 8
 //	go run ./cmd/dynsim -adversary churn -rounds 10000 -resume run.ck
 //	go run ./cmd/dynsim -recover torn.trace -record salvaged.trace
 //
@@ -27,15 +28,27 @@
 //
 // -checkpoint writes the full deterministic run state (engine, algorithm
 // nodes, adversary, checker — see docs/checkpointing.md) atomically at
-// the end of the run and, with -checkpoint-every k, every k rounds.
-// -resume restores such a checkpoint and plays the remaining rounds;
-// the run must be reconstructed with the same flags (problem, algo,
-// adversary, n, seed) — the checkpoint header rejects any mismatch —
-// and the resumed rounds are bit-identical to the uninterrupted run,
-// under any worker count.
+// the end of the run. With -checkpoint-every k the file becomes an
+// incremental base+delta chain instead: the first periodic checkpoint
+// atomically writes a full base record, and each later one appends a
+// delta record covering only the state that moved since the previous
+// record, so the steady-state checkpoint cost scales with the
+// inter-checkpoint activity rather than the universe size.
+// -checkpoint-full-every m rebases the chain — an atomic rewrite with a
+// fresh full base — every m checkpoints, bounding both the chain length
+// a resume must replay and the file growth.
+//
+// -resume sniffs the format (chain container or plain stream), restores
+// it, and plays the remaining rounds; the run must be reconstructed with
+// the same flags (problem, algo, adversary, n, seed) — the checkpoint
+// header rejects any mismatch — and the resumed rounds are bit-identical
+// to the uninterrupted run, under any worker count. When -resume and
+// -checkpoint name the same chain file, the run keeps appending deltas
+// to the chain it restored from.
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
@@ -87,7 +100,8 @@ func run(args []string, out io.Writer) (invalidRounds int, strict bool, err erro
 	recordPath := fs.String("record", "", "record the run's rounds to a trace file (written atomically: temp file, fsync, rename)")
 	recoverPath := fs.String("recover", "", "salvage a torn trace recording into the -record path and exit")
 	checkpointPath := fs.String("checkpoint", "", "write run state to this file (atomically) at the end of the run, and periodically with -checkpoint-every")
-	checkpointEvery := fs.Int("checkpoint-every", 0, "also checkpoint (and fsync the recording) every k rounds")
+	checkpointEvery := fs.Int("checkpoint-every", 0, "also checkpoint (and fsync the recording) every k rounds, as an incremental chain: full base record first, one appended delta record per later checkpoint")
+	checkpointFullEvery := fs.Int("checkpoint-full-every", 0, "with -checkpoint-every, rebase the chain (atomic rewrite with a fresh full base record) every m checkpoints; 0 never rebases")
 	resumePath := fs.String("resume", "", "restore run state from a checkpoint file and play the remaining rounds (pass the same flags as the checkpointed run)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -97,6 +111,9 @@ func run(args []string, out io.Writer) (invalidRounds int, strict bool, err erro
 	}
 	if *checkpointEvery > 0 && *checkpointPath == "" {
 		return 0, false, errors.New("-checkpoint-every requires -checkpoint")
+	}
+	if *checkpointFullEvery > 0 && *checkpointEvery == 0 {
+		return 0, false, errors.New("-checkpoint-full-every requires -checkpoint-every")
 	}
 	if *recoverPath != "" {
 		if *recordPath == "" {
@@ -211,19 +228,22 @@ func run(args []string, out io.Writer) (invalidRounds int, strict bool, err erro
 	// checker state before any round plays; the checkpoint header rejects
 	// a reconstruction that does not match the checkpointed run.
 	startRound := 0
+	// chainRecs counts the records in the live chain file; 0 means no
+	// chain has been started yet (or plain full-checkpoint mode).
+	chainRecs := 0
 	if *resumePath != "" {
-		f, err := os.Open(*resumePath)
-		if err != nil {
-			return 0, false, err
-		}
-		err = dynlocal.ReadCheckpoint(f, eng, check)
-		f.Close()
+		chained, err := readCheckpointFile(*resumePath, eng, check)
 		if err != nil {
 			return 0, false, fmt.Errorf("resuming from %s: %w", *resumePath, err)
 		}
 		startRound = eng.Round()
 		if startRound >= *rounds {
 			return 0, false, fmt.Errorf("checkpoint %s is at round %d, at or past -rounds %d", *resumePath, startRound, *rounds)
+		}
+		if chained && *checkpointEvery > 0 && *checkpointPath == *resumePath {
+			// The resumed chain is also the checkpoint target: keep
+			// appending deltas to it instead of restarting a chain.
+			chainRecs = int(eng.ChainSeq())
 		}
 	}
 
@@ -280,13 +300,19 @@ func run(args []string, out io.Writer) (invalidRounds int, strict bool, err erro
 		// never from inside an observer.
 		if *checkpointEvery > 0 && eng.Round() < *rounds &&
 			(eng.Round()-startRound)%*checkpointEvery == 0 {
-			if err := writeCheckpoint(*checkpointPath, eng, check); err != nil {
+			if err := chainCheckpoint(*checkpointPath, eng, check, &chainRecs, *checkpointFullEvery); err != nil {
 				return 0, false, fmt.Errorf("checkpoint at round %d: %w", eng.Round(), err)
 			}
 		}
 	}
 	if *checkpointPath != "" {
-		if err := writeCheckpoint(*checkpointPath, eng, check); err != nil {
+		var err error
+		if chainRecs > 0 {
+			err = appendCheckpointDelta(*checkpointPath, eng, check)
+		} else {
+			err = writeCheckpoint(*checkpointPath, eng, check)
+		}
+		if err != nil {
 			return 0, false, fmt.Errorf("final checkpoint: %w", err)
 		}
 	}
@@ -348,6 +374,90 @@ func writeCheckpoint(path string, e *dynlocal.Engine, c *dynlocal.TDynamicChecke
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// chainCheckpoint advances the incremental checkpoint chain: the first
+// call — and every rebase, once fullEvery records have accumulated —
+// atomically rewrites path as a fresh chain (magic plus one full base
+// record); later calls append one delta record, so the steady-state
+// checkpoint cost scales with inter-checkpoint activity, not with n.
+func chainCheckpoint(path string, e *dynlocal.Engine, c *dynlocal.TDynamicChecker, recs *int, fullEvery int) error {
+	if *recs == 0 || (fullEvery > 0 && *recs >= fullEvery) {
+		if err := startCheckpointChain(path, e, c); err != nil {
+			return err
+		}
+		*recs = 1
+		return nil
+	}
+	if err := appendCheckpointDelta(path, e, c); err != nil {
+		return err
+	}
+	*recs++
+	return nil
+}
+
+// startCheckpointChain atomically (re)creates path as a chain container
+// holding one full base record, with the same temp+fsync+rename pattern
+// as writeCheckpoint: a crash mid-rebase never clobbers the previous
+// good chain.
+func startCheckpointChain(path string, e *dynlocal.Engine, c *dynlocal.TDynamicChecker) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = dynlocal.WriteCheckpointChain(f, e, c)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// appendCheckpointDelta appends one fsynced delta record to the chain
+// file in place. A crash mid-append leaves a torn tail that fails the
+// chain's record framing on resume — rebase (or restart the run from the
+// last good chain prefix) rather than trusting a torn tail.
+func appendCheckpointDelta(path string, e *dynlocal.Engine, c *dynlocal.TDynamicChecker) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return err
+	}
+	err = dynlocal.AppendCheckpointDelta(f, e, c)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// readCheckpointFile restores path into the freshly built run, sniffing
+// the format from the first byte: a chain container opens with the raw
+// "DLCKC1" magic, a plain composed stream with the varint-framed
+// "DLCK1" header.
+func readCheckpointFile(path string, e *dynlocal.Engine, c *dynlocal.TDynamicChecker) (chained bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head, err := br.Peek(1)
+	if err != nil {
+		return false, err
+	}
+	if head[0] == dynlocal.ChainMagic[0] {
+		return true, dynlocal.ReadCheckpointChain(br, e, c, nil)
+	}
+	return false, dynlocal.ReadCheckpoint(br, e, c)
 }
 
 // recoverTrace salvages the longest complete-round prefix of a torn

@@ -135,6 +135,68 @@ func TestRunCheckpointResume(t *testing.T) {
 	}
 }
 
+// TestRunCheckpointChain drives the incremental-chain CLI surface:
+// -checkpoint-every writes a chain container (sniffable by its magic),
+// -checkpoint-full-every rebases it, a resume that names the same file
+// as its checkpoint target keeps appending to the restored chain, and
+// the extended chain resumes again.
+func TestRunCheckpointChain(t *testing.T) {
+	dir := t.TempDir()
+	ck := dir + "/run.ck"
+	common := []string{
+		"-problem", "mis", "-algo", "combined", "-adversary", "churn",
+		"-n", "64", "-churn", "2", "-every", "20",
+	}
+	var out strings.Builder
+	invalid, _, err := run(append(common,
+		"-rounds", "40", "-checkpoint", ck, "-checkpoint-every", "6", "-checkpoint-full-every", "3"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invalid != 0 {
+		t.Fatalf("reference run produced %d invalid rounds:\n%s", invalid, out.String())
+	}
+	head, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(head) == 0 || head[0] != 'D' {
+		t.Fatalf("-checkpoint-every did not produce a chain container (first byte %#x)", head[0])
+	}
+
+	// Resume with the same file as the checkpoint target: the run must
+	// keep appending deltas to the restored chain.
+	var resumed strings.Builder
+	invalid, _, err = run(append(common,
+		"-rounds", "52", "-resume", ck, "-checkpoint", ck, "-checkpoint-every", "6"), &resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invalid != 0 {
+		t.Fatalf("resumed run produced %d invalid rounds:\n%s", invalid, resumed.String())
+	}
+	if !strings.Contains(resumed.String(), "(resumed at round 40)") {
+		t.Fatalf("missing resume marker:\n%s", resumed.String())
+	}
+
+	// The extended chain (old records + newly appended deltas) resumes.
+	var again strings.Builder
+	if _, _, err := run(append(common, "-rounds", "60", "-resume", ck), &again); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(again.String(), "(resumed at round 52)") {
+		t.Fatalf("extended chain should resume at round 52:\n%s", again.String())
+	}
+}
+
+func TestRunCheckpointFullEveryRequiresEvery(t *testing.T) {
+	if _, _, err := run([]string{
+		"-checkpoint", "x.ck", "-checkpoint-full-every", "3", "-n", "16", "-rounds", "2",
+	}, &strings.Builder{}); err == nil {
+		t.Fatal("-checkpoint-full-every without -checkpoint-every succeeded")
+	}
+}
+
 // TestRunRecoverTornTrace tears a recording mid-round and drives the
 // -recover path: the salvaged trace must replay cleanly with the round
 // count the tear left intact.

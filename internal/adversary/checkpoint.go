@@ -25,17 +25,58 @@ type Checkpointer interface {
 	LoadState(r *ckpt.Reader)
 }
 
+// DeltaCheckpointer is optionally implemented by Checkpointers whose
+// state change between two checkpoint records can be encoded — or
+// re-derived — far more compactly than a full SaveState rewrite. The
+// engine's delta records call SaveDelta instead of SaveState when the
+// adversary implements it, passing the parent record's round and the
+// current round; LoadDelta must advance an adversary holding the exact
+// parent state to the exact `to` state, bit-identically to having
+// stepped through those rounds live.
+//
+// The randomized adversaries here draw every round from the stateless
+// per-round PRF (advStream), so their evolution over (from, to] is a
+// pure function of configuration and parent state: their delta carries
+// no edge data at all and LoadDelta fast-forwards by replaying the
+// draws — the same idiom ScriptedStream.LoadState uses for traces.
+// Record integrity (that the delta really was built on this parent) is
+// the chain's job: the engine validates sequence, parent fingerprint
+// and parent round before the adversary section is reached.
+type DeltaCheckpointer interface {
+	Checkpointer
+	SaveDelta(w *ckpt.Writer, from, to int)
+	LoadDelta(r *ckpt.Reader, from, to int)
+}
+
 // Section tags guarding the adversary section of a checkpoint stream.
 const (
-	tagChurn          uint64 = 0x71
-	tagEdgeMarkov     uint64 = 0x72
-	tagP2PChurn       uint64 = 0x73
-	tagScriptedStream uint64 = 0x74
+	tagChurn           uint64 = 0x71
+	tagEdgeMarkov      uint64 = 0x72
+	tagP2PChurn        uint64 = 0x73
+	tagScriptedStream  uint64 = 0x74
+	tagLocalStatic     uint64 = 0x75
+	tagWakeup          uint64 = 0x76
+	tagChurnDelta      uint64 = 0x77
+	tagEdgeMarkovDelta uint64 = 0x78
 )
 
 // stateCap bounds per-collection element counts a checkpoint may
 // declare for adversary state.
 const stateCap = 1 << 26
+
+// maxDeltaSpan bounds the round distance a single delta record may
+// fast-forward, so a corrupt or hostile header cannot turn LoadDelta
+// into an unbounded replay loop.
+const maxDeltaSpan = 1 << 20
+
+// checkDeltaSpan validates a fast-forward range handed to LoadDelta.
+func checkDeltaSpan(r *ckpt.Reader, from, to int) bool {
+	if from < 0 || to < from || to-from > maxDeltaSpan {
+		r.Fail(fmt.Errorf("adversary: delta fast-forward span (%d, %d] invalid", from, to))
+		return false
+	}
+	return true
+}
 
 // SaveState implements Checkpointer. The live edge-key list is written
 // verbatim: its swap-delete order feeds removeRandom's Intn indexing,
@@ -75,6 +116,42 @@ func (c *Churn) LoadState(r *ckpt.Reader) {
 	}
 }
 
+// SaveDelta implements DeltaCheckpointer. Churn's per-round mutations
+// are drawn from advStream(Seed, round) against the live key list, so
+// the state at `to` is fully determined by the state at `from`: the
+// delta carries only its section tag and LoadDelta re-derives the rest.
+func (c *Churn) SaveDelta(w *ckpt.Writer, from, to int) {
+	w.Section(tagChurnDelta)
+}
+
+// LoadDelta implements DeltaCheckpointer: replay the (from, to] draw
+// sequence against the parent state. The replay mutates keys/keyIdx
+// through the same removeRandom/addRandom calls Step makes, so the
+// swap-delete order — which feeds every future Intn index — comes out
+// bit-identical to a live run.
+func (c *Churn) LoadDelta(r *ckpt.Reader, from, to int) {
+	r.Section(tagChurnDelta)
+	if r.Err() != nil || !checkDeltaSpan(r, from, to) {
+		return
+	}
+	for rd := from + 1; rd <= to; rd++ {
+		if !c.started {
+			c.init()
+		}
+		if rd == 1 {
+			// Round 1 emits the base edge set without drawing.
+			continue
+		}
+		s := advStream(c.Seed, rd)
+		for i := 0; i < c.Del; i++ {
+			c.removeRandom(&s)
+		}
+		for i := 0; i < c.Add; i++ {
+			c.addRandom(&s)
+		}
+	}
+}
+
 // SaveState implements Checkpointer. The footprint key list is
 // reconstructed from the immutable footprint graph; only the on/off
 // mirror is state.
@@ -109,6 +186,41 @@ func (m *EdgeMarkov) LoadState(r *ckpt.Reader) {
 	}
 	for i := range m.on {
 		m.on[i] = r.Bool()
+	}
+}
+
+// SaveDelta implements DeltaCheckpointer. Like Churn, the edge-Markov
+// flips over (from, to] are a pure function of (Seed, round) and the
+// parent on/off mirror — the delta body is empty.
+func (m *EdgeMarkov) SaveDelta(w *ckpt.Writer, from, to int) {
+	w.Section(tagEdgeMarkovDelta)
+}
+
+// LoadDelta implements DeltaCheckpointer: replay the coin flips for the
+// skipped rounds. Each round draws exactly one Bernoulli per footprint
+// edge in slice order, matching Step's draw sequence.
+func (m *EdgeMarkov) LoadDelta(r *ckpt.Reader, from, to int) {
+	r.Section(tagEdgeMarkovDelta)
+	if r.Err() != nil || !checkDeltaSpan(r, from, to) {
+		return
+	}
+	for rd := from + 1; rd <= to; rd++ {
+		if !m.started {
+			m.init()
+		}
+		if rd == 1 {
+			continue
+		}
+		s := advStream(m.Seed, rd)
+		for i, isOn := range m.on {
+			if isOn {
+				if s.Bernoulli(m.POff) {
+					m.on[i] = false
+				}
+			} else if s.Bernoulli(m.POn) {
+				m.on[i] = true
+			}
+		}
 	}
 }
 
@@ -262,7 +374,12 @@ func (s *ScriptedStream) SaveState(w *ckpt.Writer) {
 }
 
 // LoadState implements Checkpointer. The receiver must wrap a freshly
-// opened source positioned at its first round.
+// opened source positioned at its first round, or — when applying a
+// checkpoint chain, whose delta records each carry the adversary section
+// — be the same receiver an earlier record already restored: the
+// fast-forward is incremental from the rounds already consumed, so
+// repeated loads advance the source monotonically instead of
+// compounding.
 func (s *ScriptedStream) LoadState(r *ckpt.Reader) {
 	r.Section(tagScriptedStream)
 	consumed := r.Count(stateCap)
@@ -270,7 +387,11 @@ func (s *ScriptedStream) LoadState(r *ckpt.Reader) {
 	if r.Err() != nil {
 		return
 	}
-	for i := 0; i < consumed; i++ {
+	if consumed < s.consumed {
+		r.Fail(fmt.Errorf("adversary: checkpoint has %d consumed trace rounds, replay already at %d — cannot rewind a stream", consumed, s.consumed))
+		return
+	}
+	for i := s.consumed; i < consumed; i++ {
 		if _, _, _, err := s.src.NextDeltas(); err != nil {
 			r.Fail(fmt.Errorf("adversary: trace ended at round %d/%d while resuming: %w", i, consumed, err))
 			return
@@ -280,10 +401,160 @@ func (s *ScriptedStream) LoadState(r *ckpt.Reader) {
 	s.done = done
 }
 
-// Interface conformance.
+// saveInner delegates the wrapped adversary's state with a presence
+// flag, so a restore onto a differently-wrapped adversary fails cleanly.
+func saveInner(w *ckpt.Writer, inner Adversary) {
+	ck, ok := inner.(Checkpointer)
+	w.Bool(ok)
+	if ok {
+		ck.SaveState(w)
+	}
+}
+
+// loadInner restores the wrapped adversary's state saved by saveInner.
+func loadInner(r *ckpt.Reader, inner Adversary) {
+	has := r.Bool()
+	if r.Err() != nil {
+		return
+	}
+	ck, ok := inner.(Checkpointer)
+	if has != ok {
+		r.Fail(fmt.Errorf("adversary: checkpoint inner-state presence %v, wrapped adversary %T checkpointer %v", has, inner, ok))
+		return
+	}
+	if has {
+		ck.LoadState(r)
+	}
+}
+
+// SaveState implements Checkpointer. The frozen zone and its base edges
+// are derived from configuration (Base, Protected, Alpha) and rebuilt by
+// init() on restore; the only serialized wrapper state is the inner-
+// topology mirror, written with sorted keys for deterministic bytes
+// (it is a set — order never feeds behavior). The inner adversary's
+// state is delegated.
+func (l *LocalStatic) SaveState(w *ckpt.Writer) {
+	w.Section(tagLocalStatic)
+	w.Bool(l.started)
+	if l.started {
+		keys := make([]graph.EdgeKey, 0, len(l.innerSet))
+		for k := range l.innerSet {
+			keys = append(keys, k)
+		}
+		slices.Sort(keys)
+		w.Int(len(keys))
+		for _, k := range keys {
+			w.Uvarint(uint64(k))
+		}
+	}
+	saveInner(w, l.Inner)
+}
+
+// LoadState implements Checkpointer. Safe for the repeated loads of a
+// chain restore: derived caches are built once, the mirror is replaced
+// wholesale each time.
+func (l *LocalStatic) LoadState(r *ckpt.Reader) {
+	r.Section(tagLocalStatic)
+	started := r.Bool()
+	if r.Err() != nil {
+		return
+	}
+	if started {
+		if !l.started {
+			l.init()
+		}
+		n := r.Count(stateCap)
+		if r.Err() != nil {
+			return
+		}
+		clear(l.innerSet)
+		for i := 0; i < n; i++ {
+			l.innerSet[graph.EdgeKey(r.Uvarint())] = struct{}{}
+		}
+		if r.Err() != nil {
+			return
+		}
+	}
+	loadInner(r, l.Inner)
+}
+
+// SaveState implements Checkpointer. The awake set is a pure function of
+// (Schedule, lastRound) and is rebuilt on restore; the resolver's
+// previous inner topology — which the next materialized-step diff runs
+// against — is written as its sorted edge-key list. The inner
+// adversary's state is delegated.
+func (w *Wakeup) SaveState(cw *ckpt.Writer) {
+	cw.Section(tagWakeup)
+	cw.Bool(w.awake != nil)
+	if w.awake != nil {
+		cw.Int(w.lastRound)
+		keys := w.res.prev.EdgeKeys()
+		cw.Int(len(keys))
+		for _, k := range keys {
+			cw.Uvarint(uint64(k))
+		}
+	}
+	saveInner(cw, w.Inner)
+}
+
+// LoadState implements Checkpointer. Safe for the repeated loads of a
+// chain restore: awake set and resolver are rebuilt from scratch each
+// time.
+func (w *Wakeup) LoadState(r *ckpt.Reader) {
+	r.Section(tagWakeup)
+	started := r.Bool()
+	if r.Err() != nil {
+		return
+	}
+	if started {
+		n := len(w.Schedule)
+		lastRound := r.Int()
+		nKeys := r.Count(stateCap)
+		if r.Err() != nil {
+			return
+		}
+		keys := make([]graph.EdgeKey, nKeys)
+		var prev graph.EdgeKey
+		for i := range keys {
+			k := graph.EdgeKey(r.Uvarint())
+			if r.Err() != nil {
+				return
+			}
+			if i > 0 && k <= prev {
+				r.Fail(fmt.Errorf("adversary: checkpoint wakeup edge keys not strictly ascending"))
+				return
+			}
+			if x, y := k.Nodes(); x < 0 || x >= y || int(y) >= n {
+				r.Fail(fmt.Errorf("adversary: checkpoint wakeup edge %v outside universe [0,%d)", k, n))
+				return
+			}
+			keys[i] = k
+			prev = k
+		}
+		w.lastRound = lastRound
+		w.awake = make([]bool, n)
+		for id, wr := range w.Schedule {
+			if wr >= 1 && wr <= lastRound {
+				w.awake[id] = true
+			}
+		}
+		w.res = NewResolver(n)
+		w.res.Resolve(&Step{EdgeAdds: keys})
+	}
+	loadInner(r, w.Inner)
+}
+
+// Interface conformance. P2PChurn, ScriptedStream and the wrappers stay
+// full-rewrite Checkpointers: P2P session state is O(live nodes) anyway,
+// trace replay already fast-forwards incrementally inside LoadState, and
+// the wrappers' inner-topology mirrors are what dominates their records.
 var (
-	_ Checkpointer = (*Churn)(nil)
-	_ Checkpointer = (*EdgeMarkov)(nil)
-	_ Checkpointer = (*P2PChurn)(nil)
-	_ Checkpointer = (*ScriptedStream)(nil)
+	_ Checkpointer      = (*Churn)(nil)
+	_ Checkpointer      = (*EdgeMarkov)(nil)
+	_ Checkpointer      = (*P2PChurn)(nil)
+	_ Checkpointer      = (*ScriptedStream)(nil)
+	_ Checkpointer      = (*LocalStatic)(nil)
+	_ Checkpointer      = (*Wakeup)(nil)
+	_ DeltaCheckpointer = (*Churn)(nil)
+	_ DeltaCheckpointer = (*EdgeMarkov)(nil)
 )

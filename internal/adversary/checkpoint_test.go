@@ -1,0 +1,159 @@
+package adversary
+
+import (
+	"bytes"
+	"testing"
+
+	"dynlocal/internal/ckpt"
+	"dynlocal/internal/graph"
+	"dynlocal/internal/prf"
+)
+
+// stateBytes serializes a Checkpointer's full state, the canonical
+// fingerprint for comparing two adversaries bit for bit.
+func stateBytes(t *testing.T, c Checkpointer) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := ckpt.NewWriter(&buf)
+	c.SaveState(w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func loadState(t *testing.T, c Checkpointer, b []byte) {
+	t.Helper()
+	r := ckpt.NewReader(bytes.NewReader(b))
+	c.LoadState(r)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// deltaRoundTrip writes src's (from, to] delta and applies it to dst.
+func deltaRoundTrip(t *testing.T, src, dst DeltaCheckpointer, from, to int) error {
+	t.Helper()
+	var buf bytes.Buffer
+	w := ckpt.NewWriter(&buf)
+	src.SaveDelta(w, from, to)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := ckpt.NewReader(bytes.NewReader(buf.Bytes()))
+	dst.LoadDelta(r, from, to)
+	if err := r.Err(); err != nil {
+		return err
+	}
+	return r.Close()
+}
+
+// TestDeltaFastForwardEquivalence pins the DeltaCheckpointer contract
+// for both implementers: an adversary restored from a full checkpoint
+// at round k1 and fast-forwarded by a (k1, k2] delta must be bit-
+// identical — state bytes and every future step — to the live adversary
+// that actually played those rounds.
+func TestDeltaFastForwardEquivalence(t *testing.T) {
+	const n = 40
+	const k1, k2, tail = 6, 17, 8
+	base := graph.GNP(n, 6.0/float64(n), prf.NewStream(5, 0, 0, prf.PurposeWorkload))
+	type deltaAdversary interface {
+		Adversary
+		DeltaCheckpointer
+	}
+	cases := map[string]func() deltaAdversary{
+		"churn": func() deltaAdversary {
+			return &Churn{Base: base, Add: 4, Del: 4, Seed: 9}
+		},
+		"edgemarkov": func() deltaAdversary {
+			return &EdgeMarkov{Footprint: base, POn: 0.6, POff: 0.3, Seed: 13}
+		},
+	}
+	for name, mk := range cases {
+		t.Run(name, func(t *testing.T) {
+			live := mk()
+			v := newFakeView(n)
+			for r := 1; r <= k1; r++ {
+				v.play(live)
+			}
+			resumed := mk()
+			loadState(t, resumed, stateBytes(t, live))
+			for r := k1 + 1; r <= k2; r++ {
+				v.play(live)
+			}
+			if err := deltaRoundTrip(t, live, resumed, k1, k2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(stateBytes(t, live), stateBytes(t, resumed)) {
+				t.Fatal("state bytes diverge after delta fast-forward")
+			}
+			// Future steps must coincide too: play both from k2.
+			vLive, vRes := v, newFakeView(n)
+			vRes.round = v.round
+			vRes.prev = v.prev
+			vRes.res.Resolve(&Step{EdgeAdds: v.prev.EdgeKeys()})
+			for r := 0; r < tail; r++ {
+				a := vLive.play(live)
+				b := vRes.play(resumed)
+				if !bytes.Equal(graphFingerprint(a.G), graphFingerprint(b.G)) {
+					t.Fatalf("round %d after resume: topologies diverge", k2+r+1)
+				}
+			}
+		})
+	}
+}
+
+func graphFingerprint(g *graph.Graph) []byte {
+	var buf bytes.Buffer
+	for _, k := range g.EdgeKeys() {
+		buf.WriteByte(byte(k))
+		buf.WriteByte(byte(k >> 8))
+		buf.WriteByte(byte(k >> 16))
+		buf.WriteByte(byte(k >> 24))
+	}
+	return buf.Bytes()
+}
+
+// TestDeltaFromFreshBase covers the chain-base-before-round-1 corner:
+// a delta whose span starts at round 0 must initialize the adversary
+// (round 1 emits the base set without drawing) and still match live.
+func TestDeltaFromFreshBase(t *testing.T) {
+	const n = 24
+	base := graph.GNP(n, 5.0/float64(n), prf.NewStream(3, 0, 0, prf.PurposeWorkload))
+	mk := func() *Churn { return &Churn{Base: base, Add: 3, Del: 3, Seed: 7} }
+	live := mk()
+	v := newFakeView(n)
+	for r := 1; r <= 5; r++ {
+		v.play(live)
+	}
+	resumed := mk()
+	if err := deltaRoundTrip(t, live, resumed, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stateBytes(t, live), stateBytes(t, resumed)) {
+		t.Fatal("fresh-base fast-forward diverges from live run")
+	}
+}
+
+// TestDeltaRejectsBadSpan: hostile or corrupt round ranges must fail
+// instead of looping.
+func TestDeltaRejectsBadSpan(t *testing.T) {
+	base := graph.GNP(16, 0.3, prf.NewStream(3, 0, 0, prf.PurposeWorkload))
+	for _, span := range [][2]int{{5, 4}, {-1, 3}, {0, maxDeltaSpan + 1}} {
+		c := &Churn{Base: base, Add: 1, Del: 1, Seed: 1}
+		if err := deltaRoundTrip(t, c, c, span[0], span[1]); err == nil {
+			t.Errorf("span (%d, %d] accepted", span[0], span[1])
+		}
+	}
+}
+
+// TestDeltaRejectsWrongAdversary: a churn delta applied to an
+// edge-Markov adversary must fail on the section tag, not misparse.
+func TestDeltaRejectsWrongAdversary(t *testing.T) {
+	base := graph.GNP(16, 0.3, prf.NewStream(3, 0, 0, prf.PurposeWorkload))
+	c := &Churn{Base: base, Add: 1, Del: 1, Seed: 1}
+	m := &EdgeMarkov{Footprint: base, POn: 0.5, POff: 0.5, Seed: 2}
+	if err := deltaRoundTrip(t, c, m, 2, 4); err == nil {
+		t.Fatal("churn delta restored into an edge-Markov adversary")
+	}
+}

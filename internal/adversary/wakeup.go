@@ -23,6 +23,9 @@ type Wakeup struct {
 	res     *Resolver
 	awake   []bool
 	scratch []graph.EdgeKey
+	// lastRound is the last round stepped — with Schedule it determines
+	// the awake set, which is how a checkpoint restore rebuilds it.
+	lastRound int
 }
 
 // Step implements Adversary.
@@ -32,6 +35,7 @@ func (w *Wakeup) Step(v View) Step {
 		w.res = NewResolver(v.N())
 	}
 	r := v.Round()
+	w.lastRound = r
 	var wake []graph.NodeID
 	for id, wr := range w.Schedule {
 		if wr == r {

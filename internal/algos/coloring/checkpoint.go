@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dynlocal/internal/ckpt"
+	"dynlocal/internal/core"
 	"dynlocal/internal/graph"
 	"dynlocal/internal/problems"
 )
@@ -40,7 +41,7 @@ func loadPalette(r *ckpt.Reader) palette {
 	if r.Err() != nil {
 		return palette{}
 	}
-	words := make([]uint64, n)
+	words := ckpt.AllocSlice[uint64](r, n)
 	for i := range words {
 		words[i] = r.Uvarint()
 	}
@@ -111,9 +112,27 @@ func (s *scolorNode) LoadState(r *ckpt.Reader) {
 	s.pal = loadPalette(r)
 }
 
+// NewNodeArena implements core.ArenaFactory: restored instance structs
+// come from the arena instead of the heap. The result matches NewNode's
+// initial state exactly; LoadState fills the rest.
+func (f *DColorFactory) NewNodeArena(v graph.NodeID, r *ckpt.Reader) core.NodeInstance {
+	d := ckpt.AllocStruct[dcolorNode](r)
+	d.f, d.v = f, v
+	return d
+}
+
+// NewNodeArena implements core.ArenaFactory.
+func (f *SColorFactory) NewNodeArena(v graph.NodeID, r *ckpt.Reader) core.NodeInstance {
+	s := ckpt.AllocStruct[scolorNode](r)
+	s.v = v
+	return s
+}
+
 var (
-	_ ckpt.Stater = (*dcolorNode)(nil)
-	_ ckpt.Stater = (*scolorNode)(nil)
+	_ ckpt.Stater       = (*dcolorNode)(nil)
+	_ ckpt.Stater       = (*scolorNode)(nil)
+	_ core.ArenaFactory = (*DColorFactory)(nil)
+	_ core.ArenaFactory = (*SColorFactory)(nil)
 )
 
 // problemsValue reads a coloring output: Bot or a positive color.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dynlocal/internal/ckpt"
+	"dynlocal/internal/core"
 	"dynlocal/internal/graph"
 	"dynlocal/internal/problems"
 )
@@ -52,12 +53,13 @@ func (d *dmisNode) LoadState(r *ckpt.Reader) {
 	if r.Bool() {
 		n := r.Count(streakCap)
 		// The nil-ness of streakK is load-bearing (it marks the first
-		// executed round), so restore a non-nil slice even when empty.
-		d.streakK = make([]graph.NodeID, 0, n)
-		d.streakV = make([]int32, 0, n)
+		// executed round), so restore a non-nil slice even when empty —
+		// AllocSlice guarantees non-nil for n == 0.
+		d.streakK = ckpt.AllocSlice[graph.NodeID](r, n)
+		d.streakV = ckpt.AllocSlice[int32](r, n)
 		for i := 0; i < n && r.Err() == nil; i++ {
-			d.streakK = append(d.streakK, graph.NodeID(r.Varint()))
-			d.streakV = append(d.streakV, int32(r.Varint()))
+			d.streakK[i] = graph.NodeID(r.Varint())
+			d.streakV[i] = int32(r.Varint())
 		}
 	} else {
 		d.streakK, d.streakV = nil, nil
@@ -80,9 +82,27 @@ func (s *smisNode) LoadState(r *ckpt.Reader) {
 	s.candidate = r.Bool()
 }
 
+// NewNodeArena implements core.ArenaFactory: restored instance structs
+// come from the arena instead of the heap. The result matches NewNode's
+// initial state exactly; LoadState fills the rest.
+func (f *DMisFactory) NewNodeArena(v graph.NodeID, r *ckpt.Reader) core.NodeInstance {
+	d := ckpt.AllocStruct[dmisNode](r)
+	d.v, d.mask = v, f.alphaMask()
+	return d
+}
+
+// NewNodeArena implements core.ArenaFactory.
+func (f *SMisFactory) NewNodeArena(v graph.NodeID, r *ckpt.Reader) core.NodeInstance {
+	s := ckpt.AllocStruct[smisNode](r)
+	s.f, s.v, s.p = f, v, 0.5
+	return s
+}
+
 var (
-	_ ckpt.Stater = (*dmisNode)(nil)
-	_ ckpt.Stater = (*smisNode)(nil)
+	_ ckpt.Stater       = (*dmisNode)(nil)
+	_ ckpt.Stater       = (*smisNode)(nil)
+	_ core.ArenaFactory = (*DMisFactory)(nil)
+	_ core.ArenaFactory = (*SMisFactory)(nil)
 )
 
 // readValue reads a problems.Value with a sanity bound: MIS values are

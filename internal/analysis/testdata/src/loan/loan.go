@@ -137,3 +137,49 @@ func (s *Saver) saveDeferred(r *Round) {
 func (s *Saver) saveCopied(r *Round) {
 	s.pending = append([]int(nil), r.Outputs...)
 }
+
+// Arena mimics ckpt.RestoreArena: a pooled bump allocator whose carved
+// memory is recycled wholesale by Reset, so everything drawn from it —
+// and the arena handle itself — shares one loaned lifetime.
+//
+//dynlint:loan
+type Arena struct{ buf []int }
+
+// Carve returns arena storage valid only until the next Reset.
+//
+//dynlint:loan
+func (a *Arena) Carve(n int) []int { return a.buf[:n] }
+
+// Reset recycles every previously carved slice.
+func (a *Arena) Reset() { a.buf = a.buf[:0] }
+
+// Restorer mimics ckpt.Reader: holding the attached arena is the
+// sanctioned loan-to-loan handoff — the annotated field re-exports the
+// pooled lifetime instead of hiding it.
+type Restorer struct {
+	//dynlint:loan
+	arena *Arena
+}
+
+// SetArena attaches an arena; legal because the destination field is
+// itself loan-annotated.
+func (r *Restorer) SetArena(a *Arena) { r.arena = a }
+
+// absorbsArena is the violation the handoff rule exists to catch: a
+// long-lived holder that hides the arena (or its carvings) in plain
+// fields keeps using the memory after Reset hands it to the next run.
+func absorbsArena(k *Keeper, a *Arena) {
+	k.got = a.Carve(4) // want "stored in field"
+}
+
+var globalArena *Arena
+
+func escapesArenaGlobally(a *Arena) {
+	globalArena = a // want "package variable"
+}
+
+// restoresThenCopies is the fix when restored state must outlive the
+// arena: copy out before the owner resets.
+func restoresThenCopies(k *Keeper, a *Arena) {
+	k.got = append([]int(nil), a.Carve(4)...)
+}

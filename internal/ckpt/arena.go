@@ -1,0 +1,119 @@
+package ckpt
+
+// RestoreArena is a reusable bump allocator for checkpoint restores.
+// High-rate resume paths (a dynsimd-style service, the fault-injection
+// matrix, the restore benchmarks) restore over and over into fresh
+// engines; without pooling every restore re-allocates the node structs,
+// streak slices, snapshot buffers and edge-key arrays it just freed. An
+// arena attached to the Reader (SetArena) lets every LoadState
+// allocation go through AllocSlice/AllocStruct instead: memory is carved
+// out of type-segregated chunks that Reset rewinds without releasing, so
+// after warmup a restore performs (amortized) no allocations at all.
+//
+// Ownership: everything carved from an arena belongs to exactly ONE
+// restored run at a time. Reset — or a new restore into the same arena —
+// recycles the memory in place, so it is only legal once every engine,
+// checker and adversary previously restored from the arena has been
+// dropped. The arena is not safe for concurrent use; a service restores
+// through one arena per worker slot. Slices returned by AllocSlice have
+// exact capacity, so growing them later falls back to the regular heap
+// (ordinary append semantics) and never corrupts a neighbor.
+//
+//dynlint:loan
+type RestoreArena struct {
+	slabs map[any]any
+	all   []resetter
+}
+
+// NewRestoreArena returns an empty arena.
+func NewRestoreArena() *RestoreArena { return &RestoreArena{} }
+
+// Reset rewinds every slab to empty while keeping the chunks, making the
+// memory of the previously restored run available for the next restore.
+// See the ownership rule in the type comment: the previous run must be
+// dead first.
+func (a *RestoreArena) Reset() {
+	for _, s := range a.all {
+		s.reset()
+	}
+}
+
+type resetter interface{ reset() }
+
+// slabKey keys the per-type slab registry; the zero struct of each
+// instantiation is a distinct comparable map key.
+type slabKey[T any] struct{}
+
+// minChunkElems is the minimum chunk length (in elements) a slab
+// allocates, amortizing small requests.
+const minChunkElems = 1024
+
+// slab is a per-type bump allocator: chunks are filled front to back,
+// reset rewinds the cursor without freeing.
+type slab[T any] struct {
+	chunks  [][]T
+	ci, off int
+}
+
+func (s *slab[T]) reset() { s.ci, s.off = 0, 0 }
+
+func (s *slab[T]) alloc(n int) []T {
+	for {
+		if s.ci < len(s.chunks) {
+			c := s.chunks[s.ci]
+			if len(c)-s.off >= n {
+				out := c[s.off : s.off+n : s.off+n]
+				s.off += n
+				// Reused chunks hold the previous run's data.
+				clear(out)
+				return out
+			}
+			s.ci++
+			s.off = 0
+			continue
+		}
+		size := n
+		if size < minChunkElems {
+			size = minChunkElems
+		}
+		s.chunks = append(s.chunks, make([]T, size))
+	}
+}
+
+func arenaSlab[T any](a *RestoreArena) *slab[T] {
+	key := any(slabKey[T]{})
+	if s, ok := a.slabs[key]; ok {
+		return s.(*slab[T])
+	}
+	s := &slab[T]{}
+	if a.slabs == nil {
+		a.slabs = make(map[any]any)
+	}
+	a.slabs[key] = s
+	a.all = append(a.all, s)
+	return s
+}
+
+// AllocSlice returns a length-n slice for restored state, drawn from the
+// reader's arena when one is attached and from the heap otherwise. The
+// result is zeroed, has exact capacity, and is non-nil even for n == 0
+// (some Staters encode meaning in nil-ness, e.g. a streak table that
+// exists but is empty).
+func AllocSlice[T any](r *Reader, n int) []T {
+	if r.arena == nil {
+		return make([]T, n)
+	}
+	if n == 0 {
+		return make([]T, 0) // zero-size: no real allocation, but non-nil
+	}
+	return arenaSlab[T](r.arena).alloc(n)
+}
+
+// AllocStruct returns a zeroed *T for restored state, drawn from the
+// reader's arena when one is attached and from the heap otherwise.
+func AllocStruct[T any](r *Reader) *T {
+	if r.arena == nil {
+		return new(T)
+	}
+	return &arenaSlab[T](r.arena).alloc(1)[0]
+}

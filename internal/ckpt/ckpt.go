@@ -116,6 +116,11 @@ func (w *Writer) Section(tag uint64) { w.Uvarint(tag) }
 // Err returns the first error encountered, if any.
 func (w *Writer) Err() error { return w.err }
 
+// Sum32 returns the stream's CRC-32 over every payload byte written so
+// far — after Close this is exactly the trailer value. Chain writers use
+// it as the parent-linkage fingerprint of a record (see chain.go).
+func (w *Writer) Sum32() uint32 { return w.crc }
+
 // Fail latches err as the stream error if none is set yet, mirroring
 // Reader.Fail for semantic failures discovered while serializing (e.g.
 // a component that does not support checkpointing).
@@ -153,8 +158,15 @@ type Reader struct {
 	r   io.Reader
 	br  io.ByteReader
 	crc uint32
+	sum uint32
 	one [1]byte
 	err error
+	// arena re-exports the pooled lifetime of the attached RestoreArena:
+	// state restored through this reader is valid only until the arena's
+	// owner calls Reset.
+	//
+	//dynlint:loan
+	arena *RestoreArena
 }
 
 // NewReader returns a checkpoint reader over r.
@@ -292,6 +304,18 @@ func (r *Reader) Section(tag uint64) {
 // Err returns the first error encountered, if any.
 func (r *Reader) Err() error { return r.err }
 
+// Sum32 returns the stream's CRC-32 as verified by Close (zero before
+// Close). Chain readers use it as the parent-linkage fingerprint when
+// validating the next delta record against the one just applied.
+func (r *Reader) Sum32() uint32 { return r.sum }
+
+// SetArena attaches a RestoreArena to the reader. LoadState
+// implementations that allocate through AllocSlice/AllocStruct then draw
+// from the arena instead of the heap; a nil arena (the default) falls
+// back to plain allocation, so Staters never branch on pooling
+// themselves.
+func (r *Reader) SetArena(a *RestoreArena) { r.arena = a }
+
 // Fail latches err as the stream error if none is set yet. Callers use
 // it to report semantic validation failures (bad field values) through
 // the same sticky-error channel as wire-level failures.
@@ -310,6 +334,7 @@ func (r *Reader) Close() error {
 		return r.err
 	}
 	sum := r.crc // trailer is not part of its own checksum
+	r.sum = sum
 	var tr [4]byte
 	for i := range tr {
 		b, err := r.readByte()

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"dynlocal/internal/ckpt"
+	"dynlocal/internal/engine"
+	"dynlocal/internal/graph"
 )
 
 // Checkpoint support for the framework node processors. A processor
@@ -42,6 +44,30 @@ func loadInstance(r *ckpt.Reader, inst NodeInstance) {
 	st.LoadState(r)
 }
 
+// ArenaFactory is optionally implemented by algorithm factories
+// (DynamicAlgorithm or NetworkStaticAlgorithm) whose instance structs
+// can be carved from the restore arena attached to the checkpoint
+// reader. The returned instance must be in the exact state NewNode
+// leaves it in — LoadState runs right after either way.
+type ArenaFactory interface {
+	NewNodeArena(v graph.NodeID, r *ckpt.Reader) NodeInstance
+}
+
+// nodeFactory is the NewNode slice both algorithm-factory interfaces
+// share, so restore paths can construct instances uniformly.
+type nodeFactory interface {
+	NewNode(v graph.NodeID) NodeInstance
+}
+
+// restoredInstance builds an instance for a restore, through the arena
+// when the factory supports it.
+func restoredInstance(r *ckpt.Reader, f nodeFactory, v graph.NodeID) NodeInstance {
+	if af, ok := f.(ArenaFactory); ok {
+		return af.NewNodeArena(v, r)
+	}
+	return f.NewNode(v)
+}
+
 // SaveState implements ckpt.Stater by delegating to the wrapped
 // instance.
 func (p singleProc) SaveState(w *ckpt.Writer) {
@@ -67,22 +93,26 @@ func saveSlots(w *ckpt.Writer, slots []dSlot) {
 	}
 }
 
-// loadSlots restores an instance pipeline, building each instance with
-// newInst (NewNode without Start — all instance state comes from the
-// stream).
-func loadSlots(r *ckpt.Reader, maxSlots int, newInst func() NodeInstance) []dSlot {
+// loadSlots restores an instance pipeline, building each instance via
+// the factory (NewNode without Start — all instance state comes from the
+// stream). The slot slice is carved from the reader's arena at the
+// pipeline's capacity bound, so the restored run's appends stay within
+// it.
+func loadSlots(r *ckpt.Reader, maxSlots int, f nodeFactory, v graph.NodeID) []dSlot {
 	n := r.Count(maxSlots)
 	if r.Err() != nil {
 		return nil
 	}
-	slots := make([]dSlot, 0, n)
+	slots := ckpt.AllocSlice[dSlot](r, maxSlots)[:n]
 	for i := 0; i < n; i++ {
-		s := dSlot{ch: int32(r.Varint()), age: r.Int(), inst: newInst()}
+		s := &slots[i]
+		s.ch = int32(r.Varint())
+		s.age = r.Int()
+		s.inst = restoredInstance(r, f, v)
 		loadInstance(r, s.inst)
 		if r.Err() != nil {
 			return nil
 		}
-		slots = append(slots, s)
 	}
 	return slots
 }
@@ -100,9 +130,17 @@ func (p *concatProc) SaveState(w *ckpt.Writer) {
 // no restoring.
 func (p *concatProc) LoadState(r *ckpt.Reader) {
 	r.Section(tagConcat)
-	p.salg = p.c.S.NewNode(p.v)
+	p.salg = restoredInstance(r, p.c.S, p.v)
 	loadInstance(r, p.salg)
-	p.dal = loadSlots(r, p.c.T1, func() NodeInstance { return p.c.D.NewNode(p.v) })
+	p.dal = loadSlots(r, p.c.T1, p.c.D, p.v)
+}
+
+// NewNodeArena implements engine.ArenaAlgorithm: on restore the
+// processor struct itself comes from the arena.
+func (c *Concat) NewNodeArena(v graph.NodeID, r *ckpt.Reader) engine.NodeProc {
+	p := ckpt.AllocStruct[concatProc](r)
+	p.c, p.v = c, v
+	return p
 }
 
 // SaveState implements ckpt.Stater for the Chain processor.
@@ -116,10 +154,17 @@ func (p *chainProc) SaveState(w *ckpt.Writer) {
 // LoadState implements ckpt.Stater.
 func (p *chainProc) LoadState(r *ckpt.Reader) {
 	r.Section(tagChain)
-	p.salg = p.c.S.NewNode(p.v)
+	p.salg = restoredInstance(r, p.c.S, p.v)
 	loadInstance(r, p.salg)
-	p.mids = loadSlots(r, p.c.Tm, func() NodeInstance { return p.c.Mid.NewNode(p.v) })
-	p.outs = loadSlots(r, p.c.T1, func() NodeInstance { return p.c.D.NewNode(p.v) })
+	p.mids = loadSlots(r, p.c.Tm, p.c.Mid, p.v)
+	p.outs = loadSlots(r, p.c.T1, p.c.D, p.v)
+}
+
+// NewNodeArena implements engine.ArenaAlgorithm.
+func (c *Chain) NewNodeArena(v graph.NodeID, r *ckpt.Reader) engine.NodeProc {
+	p := ckpt.AllocStruct[chainProc](r)
+	p.c, p.v = c, v
+	return p
 }
 
 // Interface conformance: the engine checkpoints node processors through

@@ -135,6 +135,18 @@ type Window struct {
 	curEdges  []graph.EdgeKey
 	addBuf    []graph.EdgeKey
 	remBuf    []graph.EdgeKey
+
+	// Delta-checkpoint tracking (see checkpoint.go), enabled by the first
+	// NoteCheckpoint call: which spans, wake entries, ring slots and wake
+	// buckets moved since the last noted checkpoint record. Windows that
+	// never join a checkpoint chain pay nothing — every mark site is
+	// guarded by track.
+	track        bool
+	dirtySpans   map[graph.EdgeKey]struct{}
+	dirtyWake    []graph.NodeID
+	dirtyExpiry  []bool
+	dirtyPending []bool
+	dirtyByWake  map[int]struct{}
 }
 
 // NewWindow creates a window of size t >= 1 over a node universe of size n.
@@ -256,6 +268,10 @@ func (w *Window) advance(adds, removes []graph.EdgeKey, wakeNow []graph.NodeID, 
 		if w.wake[v] == 0 {
 			w.wake[v] = r
 			w.byWake[r] = append(w.byWake[r], v)
+			if w.track {
+				w.dirtyWake = append(w.dirtyWake, v)
+				w.dirtyByWake[r] = struct{}{}
+			}
 		}
 	}
 
@@ -286,8 +302,14 @@ func (w *Window) advance(adds, removes []graph.EdgeKey, wakeNow []graph.NodeID, 
 		sp.streakStart = r
 		w.spans[k] = sp
 		pend = append(pend, k)
+		if w.track {
+			w.dirtySpans[k] = struct{}{}
+		}
 	}
 	w.pending[(r+w.t-1)%w.t] = pend
+	if w.track && len(adds) > 0 {
+		w.dirtyPending[(r+w.t-1)%w.t] = true
+	}
 
 	// Edges leaving G_r: the streak ended in round r-1, which breaks
 	// intersection membership now and schedules union expiry for round
@@ -309,8 +331,14 @@ func (w *Window) advance(adds, removes []graph.EdgeKey, wakeNow []graph.NodeID, 
 		}
 		w.spans[k] = sp
 		push = append(push, k)
+		if w.track {
+			w.dirtySpans[k] = struct{}{}
+		}
 	}
 	w.expiry[(r-1)%w.t] = push
+	if w.track && len(removes) > 0 {
+		w.dirtyExpiry[(r-1)%w.t] = true
+	}
 
 	// Union expiry: edges whose last streak ended in round r-t leave E^∪T
 	// now. Entries whose edge was re-observed since are stale (present, or
@@ -323,9 +351,15 @@ func (w *Window) advance(adds, removes []graph.EdgeKey, wakeNow []graph.NodeID, 
 			if sp, ok := w.spans[k]; ok && !sp.present && sp.lastSeen == r-w.t {
 				delete(w.spans, k)
 				d.UnionRemoved = append(d.UnionRemoved, k)
+				if w.track {
+					w.dirtySpans[k] = struct{}{}
+				}
 			}
 		}
 		w.expiry[r%w.t] = slot[:0]
+		if w.track {
+			w.dirtyExpiry[r%w.t] = true
+		}
 	}
 
 	// Intersection arrivals: edges whose streak started in round r-t+1
@@ -342,9 +376,15 @@ func (w *Window) advance(adds, removes []graph.EdgeKey, wakeNow []graph.NodeID, 
 				sp.inInter = true
 				w.spans[k] = sp
 				d.InterAdded = append(d.InterAdded, k)
+				if w.track {
+					w.dirtySpans[k] = struct{}{}
+				}
 			}
 		}
 		w.pending[r%w.t] = pslot[:0]
+		if w.track {
+			w.dirtyPending[r%w.t] = true
+		}
 	}
 
 	// Core arrivals: nodes woken in round r0 have now been awake for t
@@ -356,6 +396,9 @@ func (w *Window) advance(adds, removes []graph.EdgeKey, wakeNow []graph.NodeID, 
 			slices.Sort(nodes)
 			d.CoreEntered = append(d.CoreEntered, nodes...)
 			delete(w.byWake, r0)
+			if w.track {
+				w.dirtyByWake[r0] = struct{}{}
+			}
 		}
 	}
 	return d

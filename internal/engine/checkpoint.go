@@ -239,7 +239,7 @@ func (e *Engine) RestoreFrom(r *ckpt.Reader) {
 	if r.Err() != nil {
 		return
 	}
-	keys := make([]graph.EdgeKey, 0, nEdges)
+	keys := ckpt.AllocSlice[graph.EdgeKey](r, nEdges)
 	var prevKey graph.EdgeKey
 	for i := 0; i < nEdges; i++ {
 		d := r.Uvarint()
@@ -258,7 +258,7 @@ func (e *Engine) RestoreFrom(r *ckpt.Reader) {
 			r.Fail(fmt.Errorf("engine: checkpoint edge %v out of range for N=%d", k, n))
 			return
 		}
-		keys = append(keys, k)
+		keys[i] = k
 		prevKey = k
 	}
 
@@ -290,7 +290,7 @@ func (e *Engine) RestoreFrom(r *ckpt.Reader) {
 		}
 		e.awake[v] = true
 		e.wakeRnd[v] = wr
-		np := e.algo.NewNode(graph.NodeID(v))
+		np := e.newRestoredNode(r, graph.NodeID(v))
 		e.states[v] = np
 		if !dense {
 			if q, ok := np.(Quiescer); ok {
@@ -358,7 +358,7 @@ func (e *Engine) RestoreFrom(r *ckpt.Reader) {
 		return
 	}
 	for rr := lo; rr <= round; rr++ {
-		snap := make([]problems.Value, n)
+		snap := ckpt.AllocSlice[problems.Value](r, n)
 		for i := range snap {
 			snap[i] = problems.Value(r.Varint())
 		}

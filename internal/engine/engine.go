@@ -367,6 +367,25 @@ type Engine struct {
 	sctx               Ctx  // serial-path scratch; a stack Ctx would escape
 	vw                 view // adversary View scratch; boxing a value would allocate
 
+	// Incremental-checkpoint dirty tracking, disabled (and nil) until the
+	// first NoteCheckpoint — runs that never write checkpoint chains pay
+	// nothing. While enabled, each round marks the nodes whose serialized
+	// state may have changed (the phase-time active list under the sparse
+	// plane; all awake nodes under Dense), the nodes whose output changed,
+	// the net topology diff and whether the active list moved, all since
+	// the last persisted record. CheckpointDeltaTo serializes exactly
+	// these marks; NoteCheckpoint resets them once a record survives.
+	ckptTrack    bool
+	ckptSeq      uint64                 // records persisted in the current chain
+	ckptSum      uint32                 // CRC-32 fingerprint of the last record
+	ckptRound    int                    // round the last record captured
+	dirtyNode    []bool                 // node state touched since last record
+	dirtyList    []graph.NodeID         // set bits of dirtyNode, unsorted
+	dirtyOut     []bool                 // output changed since last record
+	dirtyOutList []graph.NodeID         // set bits of dirtyOut, unsorted
+	topDirty     map[graph.EdgeKey]bool // net edge diff: true=added, false=removed
+	activeDirty  bool                   // active list changed since last record
+
 	observers []func(*RoundInfo)
 }
 
@@ -476,6 +495,14 @@ func (e *Engine) Step() *RoundInfo {
 	// steps, synthesized by one linear merge for materialized steps. No
 	// CSR graph is built here.
 	adds, removes := e.resolver.Observe(&st)
+	if e.ckptTrack {
+		for _, k := range adds {
+			e.markEdgeDirty(k, true)
+		}
+		for _, k := range removes {
+			e.markEdgeDirty(k, false)
+		}
+	}
 
 	// Wake phase.
 	e.newAct = e.newAct[:0]
@@ -541,6 +568,36 @@ func (e *Engine) ringSlots(r int) (snap, prev []problems.Value) {
 	return snap, prev
 }
 
+// markNodeDirty records that v's serialized per-node state (wake round,
+// quiescence counter or Stater payload) may differ from the last
+// persisted checkpoint record.
+func (e *Engine) markNodeDirty(v graph.NodeID) {
+	if !e.dirtyNode[v] {
+		e.dirtyNode[v] = true
+		e.dirtyList = append(e.dirtyList, v)
+	}
+}
+
+// markOutDirty records that v's output changed since the last persisted
+// checkpoint record (fed from the round's folded Changed list).
+func (e *Engine) markOutDirty(v graph.NodeID) {
+	if !e.dirtyOut[v] {
+		e.dirtyOut[v] = true
+		e.dirtyOutList = append(e.dirtyOutList, v)
+	}
+}
+
+// markEdgeDirty folds one edge of the round diff into the net diff since
+// the last record, with exact cancellation: an edge added and then
+// removed (or vice versa) between two records vanishes from the delta.
+func (e *Engine) markEdgeDirty(k graph.EdgeKey, added bool) {
+	if prev, ok := e.topDirty[k]; ok && prev != added {
+		delete(e.topDirty, k)
+		return
+	}
+	e.topDirty[k] = added
+}
+
 // touch marks a node hit by the round's topology diff: it re-enters the
 // active set if dropped and restarts its quiescence grace either way.
 // Diff endpoints are awake (the model invariant was just asserted), so no
@@ -588,6 +645,9 @@ func (e *Engine) applyDrops() {
 	if total == 0 {
 		return
 	}
+	if e.ckptTrack {
+		e.activeDirty = true
+	}
 	for w := range e.drops {
 		for _, v := range e.drops[w] {
 			e.active[v] = false
@@ -621,6 +681,9 @@ func (e *Engine) stepSparse(r int, st *adversary.Step, adds, removes []graph.Edg
 	}
 	if len(e.newAct) > 0 {
 		e.mergeActive()
+		if e.ckptTrack {
+			e.activeDirty = true
+		}
 	}
 	list := e.activeList
 
@@ -646,6 +709,17 @@ func (e *Engine) stepSparse(r int, st *adversary.Step, adds, removes []graph.Edg
 		changed = append(changed, e.chg[w]...)
 	}
 	e.changed = changed
+	if e.ckptTrack {
+		// Every node whose serialized state could move this round is on
+		// the phase-time list: wake-ups and diff endpoints were merged in
+		// above, and grace-path quiet increments happen on the list too.
+		for _, v := range list {
+			e.markNodeDirty(v)
+		}
+		for _, v := range changed {
+			e.markOutDirty(v)
+		}
+	}
 	e.applyDrops()
 
 	snap := e.snapCur
@@ -820,6 +894,19 @@ func (e *Engine) stepDense(r int, st *adversary.Step, adds, removes []graph.Edge
 		changed = append(changed, e.chg[w]...)
 	}
 	e.changed = changed
+	if e.ckptTrack {
+		// The dense walk runs Process on every awake node, so they are
+		// all dirty — deltas of Dense runs degenerate to full node
+		// sections by construction.
+		for v := 0; v < e.cfg.N; v++ {
+			if e.awake[v] {
+				e.markNodeDirty(graph.NodeID(v))
+			}
+		}
+		for _, v := range changed {
+			e.markOutDirty(v)
+		}
+	}
 
 	e.round = r
 	info := &e.infos[r%len(e.infos)]

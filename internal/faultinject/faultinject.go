@@ -4,6 +4,9 @@
 // surviving bytes and proves the resumed run is bit-identical to an
 // uninterrupted one — outputs, accounting, RoundInfo deltas and
 // T-dynamic verdicts, across adversaries, algorithms and worker counts.
+// Both checkpoint formats are covered: standalone full snapshots
+// (VerifyResume) and every prefix of the incremental base+delta chain
+// (VerifyResumeChain).
 //
 // The package is a library of error-returning drivers so the same
 // scenarios run under `go test -race` locally and as the crash-resume
@@ -100,11 +103,17 @@ type Record struct {
 }
 
 // Reference is an uninterrupted run's full observable history plus the
-// checkpoint bytes taken at each crashpoint.
+// checkpoint bytes taken at each crashpoint — both as standalone full
+// snapshots and as the growing incremental chain.
 type Reference struct {
 	Records     []Record // Records[r-1] describes round r
 	Checkpoints map[int][]byte
-	Totals      [5]int64
+	// ChainPrefixes[k] holds the incremental chain bytes — magic, full
+	// base record, then one delta per earlier crashpoint — up to and
+	// including the record taken at round k: exactly the file a crash
+	// right after that record's fsync leaves behind.
+	ChainPrefixes map[int][]byte
+	Totals        [5]int64
 }
 
 func copyReport(r verify.TDynamicReport) verify.TDynamicReport {
@@ -142,17 +151,89 @@ func restore(ck []byte, e *engine.Engine, chk *verify.TDynamic) error {
 	return r.Close()
 }
 
+// chainRecord composes one chain record — the full base when base is
+// set, else a delta against the previous record — appends it to the
+// chain, and notes it on both the engine and the checker so the next
+// delta diffs against it.
+func chainRecord(chain *bytes.Buffer, e *engine.Engine, chk *verify.TDynamic, base bool) error {
+	var rec bytes.Buffer
+	w := ckpt.NewWriter(&rec)
+	if base {
+		e.CheckpointTo(w)
+		chk.SaveState(w)
+	} else {
+		e.CheckpointDeltaTo(w)
+		chk.SaveDelta(w)
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	if err := ckpt.AppendChainRecord(chain, rec.Bytes()); err != nil {
+		return err
+	}
+	if base {
+		e.NoteCheckpointBase(w.Sum32())
+	} else {
+		e.NoteCheckpoint(w.Sum32())
+	}
+	chk.NoteCheckpoint()
+	return nil
+}
+
+// restoreChain applies a chain prefix into a fresh engine+checker pair —
+// the internal-layer mirror of the facade's ReadCheckpointChain.
+func restoreChain(prefix []byte, e *engine.Engine, chk *verify.TDynamic) error {
+	cr := ckpt.NewChainReader(bytes.NewReader(prefix))
+	first := true
+	for {
+		rec, err := cr.Next()
+		if err == io.EOF {
+			if first {
+				return errors.New("empty chain")
+			}
+			return chk.FinishChain()
+		}
+		if err != nil {
+			return err
+		}
+		rr := ckpt.NewReader(bytes.NewReader(rec))
+		if first {
+			e.RestoreFrom(rr)
+			chk.LoadState(rr)
+		} else {
+			e.RestoreDeltaFrom(rr)
+			chk.LoadDelta(rr)
+		}
+		if err := rr.Err(); err != nil {
+			return err
+		}
+		if err := rr.Close(); err != nil {
+			return err
+		}
+		if first {
+			e.NoteCheckpointBase(rr.Sum32())
+		} else {
+			e.NoteCheckpoint(rr.Sum32())
+		}
+		chk.NoteCheckpoint()
+		first = false
+	}
+}
+
 // RunReference plays the uninterrupted run, recording every round and
-// checkpointing at each crashpoint.
+// checkpointing at each crashpoint — a standalone full snapshot plus one
+// record of the incremental chain (the base at the first crashpoint,
+// deltas after), so every chain position has its crash-surviving prefix.
 func RunReference(s Scenario) (*Reference, error) {
 	algo := s.NewAlgo(s.N)
 	e := engine.New(s.config(s.Workers), s.NewAdv(), algo)
 	chk := verify.NewTDynamic(s.Problem, algo.T1, s.N)
-	ref := &Reference{Checkpoints: make(map[int][]byte)}
+	ref := &Reference{Checkpoints: make(map[int][]byte), ChainPrefixes: make(map[int][]byte)}
 	e.OnRound(func(info *engine.RoundInfo) {
 		rep := copyReport(chk.Feed(info.Delta()))
 		ref.Records = append(ref.Records, Record{Info: info.Retain(), Report: rep})
 	})
+	var chain bytes.Buffer
 	for r := 1; r <= s.Rounds; r++ {
 		e.Step()
 		if slices.Contains(s.Crashpoints, r) {
@@ -161,6 +242,16 @@ func RunReference(s Scenario) (*Reference, error) {
 				return nil, fmt.Errorf("checkpoint at round %d: %w", r, err)
 			}
 			ref.Checkpoints[r] = ck
+			base := len(ref.ChainPrefixes) == 0
+			if base {
+				if err := ckpt.WriteChainMagic(&chain); err != nil {
+					return nil, err
+				}
+			}
+			if err := chainRecord(&chain, e, chk, base); err != nil {
+				return nil, fmt.Errorf("chain record at round %d: %w", r, err)
+			}
+			ref.ChainPrefixes[r] = slices.Clone(chain.Bytes())
 		}
 	}
 	ref.Totals = totals(chk)
@@ -183,6 +274,32 @@ func VerifyResume(s Scenario, ref *Reference, k, workers int) error {
 	if err := restore(ck, e, chk); err != nil {
 		return fmt.Errorf("restore at round %d: %w", k, err)
 	}
+	return replayCompare(s, ref, e, chk, k)
+}
+
+// VerifyResumeChain simulates the crash that leaves only the incremental
+// chain prefix ending at round k on disk: a fresh engine, checker and
+// adversary replay the whole prefix — the base plus every delta up to k
+// — through the chain reader, then play to the end under the given
+// worker count, compared bit-identically against the reference.
+func VerifyResumeChain(s Scenario, ref *Reference, k, workers int) error {
+	prefix, ok := ref.ChainPrefixes[k]
+	if !ok {
+		return fmt.Errorf("no chain record at round %d", k)
+	}
+	algo := s.NewAlgo(s.N)
+	e := engine.New(s.config(workers), s.NewAdv(), algo)
+	chk := verify.NewTDynamic(s.Problem, algo.T1, s.N)
+	if err := restoreChain(prefix, e, chk); err != nil {
+		return fmt.Errorf("chain restore at round %d: %w", k, err)
+	}
+	return replayCompare(s, ref, e, chk, k)
+}
+
+// replayCompare plays a restored run to the end, comparing every
+// remaining round's observables and the final checker totals against the
+// uninterrupted reference.
+func replayCompare(s Scenario, ref *Reference, e *engine.Engine, chk *verify.TDynamic, k int) error {
 	if e.Round() != k {
 		return fmt.Errorf("restored engine at round %d, want %d", e.Round(), k)
 	}

@@ -96,6 +96,14 @@ func TestCrashResumeEquivalence(t *testing.T) {
 								t.Fatal(err)
 							}
 						})
+						// The same crash, surviving only the incremental
+						// chain prefix ending at k: base record at the
+						// first crashpoint, one delta per later one.
+						t.Run(fmt.Sprintf("chain/k=%d/w=%d", k, workers), func(t *testing.T) {
+							if err := VerifyResumeChain(s, ref, k, workers); err != nil {
+								t.Fatal(err)
+							}
+						})
 					}
 				}
 			})
@@ -130,6 +138,9 @@ func TestCrashResumeDense(t *testing.T) {
 	for _, k := range s.Crashpoints {
 		for _, workers := range []int{1, 4} {
 			if err := VerifyResume(s, ref, k, workers); err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyResumeChain(s, ref, k, workers); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -2,6 +2,7 @@ package verify
 
 import (
 	"fmt"
+	"sort"
 
 	"dynlocal/internal/ckpt"
 	"dynlocal/internal/graph"
@@ -17,8 +18,12 @@ import (
 // tracker internals (flag arrays, conflict maps) and immune to their
 // refactoring.
 
-// tagTDynamic guards the checker section of a checkpoint stream.
-const tagTDynamic uint64 = 0x91
+// tagTDynamic guards the checker section of a checkpoint stream;
+// tagTDynamicDelta guards the incremental variant used by chain records.
+const (
+	tagTDynamic      uint64 = 0x91
+	tagTDynamicDelta uint64 = 0x92
+)
 
 // SaveState implements ckpt.Stater.
 func (c *TDynamic) SaveState(w *ckpt.Writer) {
@@ -81,11 +86,17 @@ func (c *TDynamic) LoadState(r *ckpt.Reader) {
 	if r.Err() != nil {
 		return
 	}
+	if err := c.rebuildTrackers(); err != nil {
+		r.Fail(err)
+	}
+}
 
-	// Rebuild the violation trackers from the restored window and output
-	// snapshot: outputs first (vals), then the window graphs' edges, then
-	// core activation — each tracker maintains its invariant under any
-	// incremental order, so the result equals the uninterrupted state.
+// rebuildTrackers replays the restored window and output snapshot into
+// fresh violation trackers: outputs first (vals), then the window
+// graphs' edges, then core activation — each tracker maintains its
+// invariant under any incremental order, so the result equals the
+// uninterrupted state. The trackers must be empty when this runs.
+func (c *TDynamic) rebuildTrackers() error {
 	for i, val := range c.prevOut {
 		if val != problems.Bot {
 			c.pt.OutputChanged(graph.NodeID(i), val)
@@ -106,8 +117,138 @@ func (c *TDynamic) LoadState(r *ckpt.Reader) {
 		c.ct.Activate(v)
 	}
 	if len(core) != c.coreCount {
-		r.Fail(fmt.Errorf("verify: checkpoint core count %d, window has %d", c.coreCount, len(core)))
+		return fmt.Errorf("verify: checkpoint core count %d, window has %d", c.coreCount, len(core))
 	}
+	return nil
+}
+
+// NoteCheckpoint records that a chain record capturing the checker's
+// current state was durably persisted, resetting the dirty tracking so
+// the next SaveDelta diffs against exactly that record. The first call
+// enables tracking. Like the engine's NoteCheckpoint, it must be called
+// for every persisted record — on both the write and the restore side —
+// and never for a record whose write failed.
+func (c *TDynamic) NoteCheckpoint() {
+	c.window.NoteCheckpoint()
+	if !c.track {
+		c.track = true
+		if !c.oracle {
+			c.outDirty = make([]bool, len(c.prevOut))
+		}
+		return
+	}
+	for _, v := range c.outDirtyList {
+		c.outDirty[v] = false
+	}
+	c.outDirtyList = c.outDirtyList[:0]
+}
+
+// SaveDelta writes the checker's state difference against the last
+// record passed to NoteCheckpoint: the window delta, the aggregate
+// tallies (absolute — a handful of scalars), and only the output-snapshot
+// entries that moved. Violation-tracker state is never serialized, full
+// or delta — FinishChain rebuilds it after the last record.
+func (c *TDynamic) SaveDelta(w *ckpt.Writer) {
+	w.Section(tagTDynamicDelta)
+	if !c.track {
+		w.Fail(fmt.Errorf("verify: SaveDelta without a noted base checkpoint"))
+		return
+	}
+	w.Bool(c.oracle)
+	c.window.SaveDelta(w)
+	w.Int(c.rounds)
+	w.Int(c.invalidRounds)
+	w.Int(c.totalPacking)
+	w.Int(c.totalCover)
+	w.Int(c.totalBotCore)
+	if c.oracle {
+		return
+	}
+	w.Int(c.coreCount)
+	w.Int(c.botCore)
+	sort.Slice(c.outDirtyList, func(i, j int) bool { return c.outDirtyList[i] < c.outDirtyList[j] })
+	w.Int(len(c.outDirtyList))
+	for _, v := range c.outDirtyList {
+		w.Varint(int64(v))
+		w.Varint(int64(c.prevOut[v]))
+	}
+}
+
+// LoadDelta applies one delta record to a checker positioned at the
+// record's parent state (base LoadState + NoteCheckpoint, then every
+// earlier delta). The violation trackers are NOT maintained during chain
+// application — call FinishChain once after the final record.
+func (c *TDynamic) LoadDelta(r *ckpt.Reader) {
+	r.Section(tagTDynamicDelta)
+	if !c.track {
+		r.Fail(fmt.Errorf("verify: LoadDelta without a restored base checkpoint"))
+		return
+	}
+	oracle := r.Bool()
+	if r.Err() != nil {
+		return
+	}
+	if oracle != c.oracle {
+		r.Fail(fmt.Errorf("verify: delta oracle=%v, checker oracle=%v", oracle, c.oracle))
+		return
+	}
+	c.window.LoadDelta(r)
+	rounds := r.Int()
+	invalidRounds := r.Int()
+	totalPacking := r.Int()
+	totalCover := r.Int()
+	totalBotCore := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if rounds != c.window.Round() {
+		r.Fail(fmt.Errorf("verify: delta has %d checked rounds but window round %d", rounds, c.window.Round()))
+		return
+	}
+	c.rounds = rounds
+	c.invalidRounds = invalidRounds
+	c.totalPacking = totalPacking
+	c.totalCover = totalCover
+	c.totalBotCore = totalBotCore
+	if c.oracle {
+		return
+	}
+	c.coreCount = r.Int()
+	c.botCore = r.Int()
+	n := r.Count(len(c.prevOut))
+	if r.Err() != nil {
+		return
+	}
+	last := int64(-1)
+	for i := 0; i < n; i++ {
+		v := r.Varint()
+		val := problems.Value(r.Varint())
+		if r.Err() != nil {
+			return
+		}
+		if v <= last || v >= int64(len(c.prevOut)) {
+			r.Fail(fmt.Errorf("verify: delta output entry %d out of order or range", v))
+			return
+		}
+		last = v
+		c.prevOut[v] = val
+	}
+}
+
+// FinishChain completes a chain restore: deltas update the window and
+// output snapshot but not the violation trackers (their state is a pure
+// function of the restored data), so after the final record the trackers
+// are recreated and rebuilt from scratch. Call it exactly once, after
+// the last record has been applied; the restored checker then both
+// verifies further rounds and keeps appending deltas to the same chain.
+func (c *TDynamic) FinishChain() error {
+	if c.oracle {
+		return nil
+	}
+	n := c.window.N()
+	c.pt = c.pc.P.NewTracker(n)
+	c.ct = c.pc.C.NewTracker(n)
+	return c.rebuildTrackers()
 }
 
 var _ ckpt.Stater = (*TDynamic)(nil)

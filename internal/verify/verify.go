@@ -81,6 +81,13 @@ type TDynamic struct {
 	totalPacking  int
 	totalCover    int
 	totalBotCore  int
+
+	// Delta-checkpoint tracking (see checkpoint.go), enabled by the first
+	// NoteCheckpoint call: which prevOut entries moved since the last
+	// noted chain record. Checkers outside a chain never pay for it.
+	track        bool
+	outDirty     []bool
+	outDirtyList []graph.NodeID
 }
 
 // NewTDynamic creates an incremental checker with window size t over n
@@ -219,6 +226,10 @@ func (c *TDynamic) applyRound(d *dyngraph.Delta, out []problems.Value, changed [
 			}
 		}
 		c.prevOut[v] = val
+		if c.track && !c.outDirty[v] {
+			c.outDirty[v] = true
+			c.outDirtyList = append(c.outDirtyList, v)
+		}
 	}
 	rep := TDynamicReport{Round: d.Round, CoreNodes: c.coreCount, BotCore: c.botCore}
 	if c.coreCount > 0 {

@@ -4,10 +4,10 @@
 # of the simulator is tracked in-tree.
 #
 # Usage:
-#   scripts/bench.sh                 # full suite, 1 iteration per bench
+#   scripts/bench.sh                 # full suite, 2s per bench
 #   BENCH='E06|E08' scripts/bench.sh # filter benches by regex
 #   LABEL=-pre scripts/bench.sh      # suffix the output file name
-#   BENCHTIME=3x scripts/bench.sh    # more iterations per bench
+#   BENCHTIME=1x scripts/bench.sh    # single iteration (smoke run)
 #
 # The full suite includes BenchmarkTDynamicChecker (incremental vs oracle
 # verification at N=4096), so the perf trajectory tracks checker cost;
@@ -18,7 +18,11 @@ cd "$(dirname "$0")/.."
 
 BENCH="${BENCH:-.}"
 LABEL="${LABEL:-}"
-BENCHTIME="${BENCHTIME:-1x}"
+# 2s per benchmark by default: enough iterations that ns/op is a mean,
+# not a single cold-cache sample (recordings made at BENCHTIME=1x report
+# iterations:1 and should not be compared against averaged runs). Heavy
+# one-shot benches still run once if a single iteration exceeds 2s.
+BENCHTIME="${BENCHTIME:-2s}"
 COUNT="${COUNT:-1}"
 OUT="BENCH_$(date +%F)${LABEL}.json"
 TMP="$(mktemp)"
